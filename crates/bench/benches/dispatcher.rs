@@ -1,0 +1,68 @@
+//! Routing-plane costs: MSIRP route selection, Network Dispatcher node
+//! picks, and DUP-driven trigger processing of a full transaction.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nagano::{ServingSite, SiteConfig};
+use nagano_cluster::{ClusterState, Msirp, SiteId};
+use nagano_workload::Region;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatcher");
+    group
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(30);
+
+    let msirp = Msirp::nagano();
+    let mut cluster = ClusterState::new();
+    group.bench_function("msirp_route", |b| {
+        let mut addr = 0usize;
+        b.iter(|| {
+            addr = (addr + 1) % 12;
+            let adverts = cluster.adverts(&msirp, addr);
+            black_box(msirp.route(Region::Japan, addr, &adverts))
+        })
+    });
+
+    group.bench_function("nd_pick_node", |b| {
+        b.iter(|| black_box(cluster.site_mut(SiteId(3)).pick_node()))
+    });
+
+    group.bench_function("dns_plus_route_plus_pick", |b| {
+        b.iter(|| {
+            let addr = cluster.next_dns_address();
+            let adverts = cluster.adverts(&msirp, addr);
+            let d = msirp.route(Region::UsEast, addr, &adverts);
+            black_box((d, cluster.site_mut(SiteId(2)).pick_node()))
+        })
+    });
+
+    // Full trigger processing of one result transaction (DUP + parallel
+    // regeneration + distribution to the fleet).
+    let site = Arc::new(ServingSite::build(SiteConfig::small()));
+    let ev = site.db().events()[0].clone();
+    let pool = site.db().athletes_of_sport(ev.sport);
+    let placements: Vec<_> = pool
+        .iter()
+        .take(8)
+        .enumerate()
+        .map(|(i, a)| (a.id, 100.0 - i as f64))
+        .collect();
+    group.bench_function("trigger_process_result_txn", |b| {
+        b.iter(|| {
+            let txn = site
+                .db()
+                .record_results(ev.id, &placements, false, ev.day);
+            black_box(site.monitor().process_txn(&txn))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

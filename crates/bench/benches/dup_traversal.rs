@@ -1,0 +1,78 @@
+//! DUP propagation cost vs graph size, and the simple-ODG fast path vs
+//! the general weighted traversal (the ablation DESIGN.md calls out).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use nagano_odg::{DupEngine, NodeId};
+
+fn bipartite(n_data: u32, n_obj: u32, fanout: u32) -> DupEngine {
+    let mut engine = DupEngine::new();
+    for d in 0..n_data {
+        for k in 0..fanout {
+            let o = (d * 31 + k * 7919) % n_obj;
+            engine
+                .add_dependency(NodeId(d), NodeId(1_000_000 + o), 1.0)
+                .unwrap();
+        }
+    }
+    engine
+}
+
+/// Layered (non-simple) graph: data → fragments → pages with weights.
+fn layered(n_data: u32, n_frag: u32, n_page: u32) -> DupEngine {
+    let mut engine = DupEngine::new();
+    for d in 0..n_data {
+        engine
+            .add_dependency(NodeId(d), NodeId(100_000 + d % n_frag), 2.0)
+            .unwrap();
+    }
+    for f in 0..n_frag {
+        for k in 0..3 {
+            engine
+                .add_dependency(
+                    NodeId(100_000 + f),
+                    NodeId(1_000_000 + (f * 3 + k) % n_page),
+                    1.0,
+                )
+                .unwrap();
+        }
+    }
+    engine
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dup_traversal");
+    group
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(30);
+
+    for &(n_data, n_obj, fanout) in &[(1_000u32, 5_000u32, 5u32), (10_000, 50_000, 10)] {
+        let mut engine = bipartite(n_data, n_obj, fanout);
+        let changed: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let changes: Vec<(NodeId, f64)> = changed.iter().map(|&c| (c, 1.0)).collect();
+        let edges = engine.graph().edge_count();
+        // Warm the simple-path cache outside the timing loop.
+        engine.propagate_ids(&changed);
+        group.bench_function(BenchmarkId::new("simple_path", edges), |b| {
+            b.iter(|| black_box(engine.propagate_ids(&changed)))
+        });
+        group.bench_function(BenchmarkId::new("general_path", edges), |b| {
+            b.iter(|| black_box(engine.propagate_general(&changes)))
+        });
+    }
+
+    let mut engine = layered(5_000, 500, 1_500);
+    let changed: Vec<NodeId> = (0..10).map(NodeId).collect();
+    group.bench_function("layered_weighted", |b| {
+        b.iter(|| black_box(engine.propagate_ids(&changed)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_traversal);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Page rendering costs: fragments vs composed pages, and dependency
+//! derivation overhead.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nagano_db::{seed_games, GamesConfig, OlympicDb};
+use nagano_pagegen::{FragmentKey, PageKey, Renderer};
+
+fn bench_render(c: &mut Criterion) {
+    let db = Arc::new(OlympicDb::new());
+    seed_games(&db, &GamesConfig::small());
+    // Populate some results so result tables have rows.
+    for ev in db.events().iter().take(4) {
+        let pool = db.athletes_of_sport(ev.sport);
+        let placements: Vec<_> = pool
+            .iter()
+            .take(10)
+            .enumerate()
+            .map(|(i, a)| (a.id, 100.0 - i as f64))
+            .collect();
+        db.record_results(ev.id, &placements, true, ev.day);
+    }
+    let renderer = Renderer::new(db.clone());
+    let event = db.events()[0].id;
+
+    let mut group = c.benchmark_group("pagegen");
+    group
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(30);
+    group.bench_function("fragment_result_table", |b| {
+        b.iter(|| black_box(renderer.render(PageKey::Fragment(FragmentKey::ResultTable(event)))))
+    });
+    group.bench_function("medal_table", |b| {
+        b.iter(|| black_box(renderer.render(PageKey::Fragment(FragmentKey::MedalTable))))
+    });
+    group.bench_function("event_page", |b| {
+        b.iter(|| black_box(renderer.render(PageKey::Event(event))))
+    });
+    group.bench_function("home_page_day2", |b| {
+        b.iter(|| black_box(renderer.render(PageKey::Home(2))))
+    });
+    group.bench_function("athlete_page", |b| {
+        b.iter(|| {
+            black_box(renderer.render(PageKey::Athlete(nagano_db::AthleteId(1))))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_render);
+criterion_main!(benches);

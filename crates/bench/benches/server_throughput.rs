@@ -1,0 +1,62 @@
+//! End-to-end HTTP service rates: static vs cached-dynamic vs
+//! uncached-dynamic (the paper's "several hundred dynamic pages per
+//! second if cacheable" claim, measured over real sockets).
+//!
+//! Criterion measures per-request latency through a persistent client;
+//! throughput is the inverse at the configured concurrency.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nagano::{ServingSite, SiteConfig};
+use nagano_httpd::{Handler, HttpClient, Request, Response, Server, ServerConfig};
+use nagano_pagegen::{PageKey, Renderer};
+
+fn bench_server(c: &mut Criterion) {
+    let site = Arc::new(ServingSite::build(SiteConfig::small()));
+    let server = site
+        .serve_http("127.0.0.1:0", 0, ServerConfig::default())
+        .unwrap();
+    let event_path = PageKey::Event(site.db().events()[0].id).to_url();
+
+    let mut group = c.benchmark_group("server_throughput");
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(30);
+
+    {
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        group.bench_function("static_page", |b| {
+            b.iter(|| black_box(client.get("/welcome").unwrap()))
+        });
+        group.bench_function("cached_dynamic_page", |b| {
+            b.iter(|| black_box(client.get(&event_path).unwrap()))
+        });
+    }
+    server.shutdown();
+
+    // Uncached dynamic generation with a reduced CPU-burn scale so the
+    // bench finishes quickly while preserving the orders-of-magnitude gap.
+    let renderer = Renderer::new(Arc::clone(site.db())).with_simulated_cpu(0.05);
+    let handler: Arc<dyn Handler> = Arc::new(move |req: &Request| match PageKey::parse(&req.path)
+    {
+        Some(key) => Response::html(renderer.render(key).body),
+        None => Response::not_found(),
+    });
+    let uncached = Server::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap();
+    {
+        let mut client = HttpClient::connect(uncached.addr()).unwrap();
+        group.bench_function("uncached_dynamic_page", |b| {
+            b.iter(|| black_box(client.get(&event_path).unwrap()))
+        });
+    }
+    uncached.shutdown();
+    group.finish();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

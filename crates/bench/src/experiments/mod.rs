@@ -1,0 +1,73 @@
+//! Experiment implementations, grouped by theme.
+
+pub mod ablations;
+pub mod caching;
+pub mod figures;
+pub mod systems;
+pub mod tables;
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use nagano_cluster::{ClusterConfig, ClusterReport, ClusterSim};
+use nagano_db::GamesConfig;
+use nagano_trigger::ConsistencyPolicy;
+
+use crate::ExpConfig;
+
+/// Games dimensions for a config: quick mode shrinks the dataset.
+pub fn games_for(config: &ExpConfig) -> GamesConfig {
+    if config.quick {
+        GamesConfig::small()
+    } else {
+        GamesConfig::full()
+    }
+}
+
+/// Build the standard 16-day cluster configuration.
+pub fn cluster_config(config: &ExpConfig, policy: ConsistencyPolicy) -> ClusterConfig {
+    ClusterConfig {
+        scale: config.scale,
+        seed: config.seed,
+        games: games_for(config),
+        policy,
+        start_day: 1,
+        end_day: 16,
+        failure_plan: Vec::new(),
+        us_congestion: (7, 9, 1.45),
+        updates_on_serving_nodes: false,
+    }
+}
+
+type ReportKey = (u64, u64, bool, &'static str);
+
+fn report_cache() -> &'static Mutex<HashMap<ReportKey, Arc<ClusterReport>>> {
+    static CACHE: OnceLock<Mutex<HashMap<ReportKey, Arc<ClusterReport>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The memoized full-Games simulation under the production policy. Every
+/// figure experiment reads from the same run, so `reproduce all` pays for
+/// the 16-day simulation once.
+pub fn full_report(config: &ExpConfig) -> Arc<ClusterReport> {
+    report_for_policy(config, ConsistencyPolicy::UpdateInPlace)
+}
+
+/// Memoized full-Games simulation under an arbitrary policy.
+pub fn report_for_policy(config: &ExpConfig, policy: ConsistencyPolicy) -> Arc<ClusterReport> {
+    let key: ReportKey = (
+        config.scale.to_bits(),
+        config.seed,
+        config.quick,
+        policy.label(),
+    );
+    if let Some(r) = report_cache().lock().unwrap().get(&key) {
+        return Arc::clone(r);
+    }
+    let report = Arc::new(ClusterSim::new(cluster_config(config, policy)).run());
+    report_cache()
+        .lock()
+        .unwrap()
+        .insert(key, Arc::clone(&report));
+    report
+}

@@ -1,0 +1,134 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with the given header.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns (first column left, rest right).
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}", w = widths[i]));
+                } else {
+                    line.push_str(&format!("{cell:>w$}", w = widths[i]));
+                }
+            }
+            line
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with thousands separators, no decimals.
+pub fn thousands(x: f64) -> String {
+    let negative = x < 0.0;
+    let mut n = x.abs().round() as u64;
+    if n == 0 {
+        return "0".to_string();
+    }
+    let mut parts = Vec::new();
+    while n > 0 {
+        parts.push((n % 1000) as u32);
+        n /= 1000;
+    }
+    let mut s = String::new();
+    if negative {
+        s.push('-');
+    }
+    for (i, p) in parts.iter().rev().enumerate() {
+        if i == 0 {
+            s.push_str(&p.to_string());
+        } else {
+            s.push_str(&format!("{p:03}"));
+        }
+        if i + 1 < parts.len() {
+            s.push(',');
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["day", "hits"]);
+        t.row(["1", "22"]).row(["14", "47"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("day"));
+        assert!(lines[2].starts_with("1 "));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(thousands(0.0), "0");
+        assert_eq!(thousands(999.0), "999");
+        assert_eq!(thousands(1_000.0), "1,000");
+        assert_eq!(thousands(56_800_000.0), "56,800,000");
+        assert_eq!(thousands(110_414.0), "110,414");
+        assert_eq!(thousands(-1_234.0), "-1,234");
+    }
+}

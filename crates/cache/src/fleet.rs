@@ -1,0 +1,210 @@
+//! The per-frame cache fleet.
+//!
+//! Inside one SP2 (Figure 6 of the paper), the trigger monitor on the SMP
+//! renders updated pages once and **distributes** them to the eight
+//! uniprocessor serving nodes. [`CacheFleet`] models that arrangement: one
+//! logical page store replicated across N member caches, with broadcast
+//! update/invalidate operations. `Bytes` bodies are reference-counted, so
+//! a distributed page costs one allocation regardless of fleet size.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::cache::{CacheConfig, CachedPage, PageCache};
+use crate::stats::StatsSnapshot;
+
+/// A set of replicated serving caches fed by one distributor.
+#[derive(Debug)]
+pub struct CacheFleet {
+    members: Vec<Arc<PageCache>>,
+}
+
+impl CacheFleet {
+    /// Build a fleet of `n` members (n >= 1), each configured with
+    /// `config`.
+    pub fn new(n: usize, config: CacheConfig) -> Self {
+        assert!(n >= 1, "a fleet needs at least one cache");
+        CacheFleet {
+            members: (0..n).map(|_| Arc::new(PageCache::new(config.clone()))).collect(),
+        }
+    }
+
+    /// Number of member caches.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Always false (construction requires n >= 1).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Handle to member `i`.
+    pub fn member(&self, i: usize) -> &Arc<PageCache> {
+        &self.members[i]
+    }
+
+    /// All members.
+    pub fn members(&self) -> &[Arc<PageCache>] {
+        &self.members
+    }
+
+    /// Serve a lookup from member `i` (a request routed to serving node
+    /// `i` by the dispatcher).
+    pub fn get_from(&self, i: usize, key: &str) -> Option<CachedPage> {
+        self.members[i].get(key)
+    }
+
+    /// Distribute a freshly rendered page to every member (the trigger
+    /// monitor's prefetch/update-in-place path).
+    pub fn distribute(&self, key: &str, body: Bytes, cost: f64) {
+        for m in &self.members {
+            m.put(key, body.clone(), cost);
+        }
+    }
+
+    /// Broadcast an invalidation; returns how many members held the key.
+    pub fn invalidate_everywhere(&self, key: &str) -> usize {
+        self.members.iter().filter(|m| m.invalidate(key)).count()
+    }
+
+    /// Insert into a single member only (a demand-miss fill on one serving
+    /// node, the pre-DUP behaviour).
+    pub fn put_local(&self, i: usize, key: &str, body: Bytes, cost: f64) {
+        self.members[i].put(key, body, cost);
+    }
+
+    /// Aggregate statistics over all members.
+    pub fn aggregate_stats(&self) -> StatsSnapshot {
+        let mut total = StatsSnapshot::default();
+        for m in &self.members {
+            let s = m.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.inserts += s.inserts;
+            total.updates += s.updates;
+            total.invalidations += s.invalidations;
+            total.evictions += s.evictions;
+            total.bytes_current += s.bytes_current;
+            total.bytes_peak += s.bytes_peak;
+        }
+        total
+    }
+
+    /// Clear every member.
+    pub fn clear(&self) {
+        for m in &self.members {
+            m.clear();
+        }
+    }
+
+    /// Resynchronise member `to` from member `from`: a recovered serving
+    /// node repopulates its cache from a healthy peer before the advisors
+    /// put it back in rotation, so it rejoins warm and version-consistent.
+    /// Returns the number of entries copied.
+    pub fn resync(&self, from: usize, to: usize) -> usize {
+        assert_ne!(from, to, "cannot resync a member from itself");
+        let entries = self.members[from].export_entries();
+        let n = entries.len();
+        let target = &self.members[to];
+        target.clear();
+        for (key, body, cost, version) in entries {
+            target.restore_entry(&key, body, cost, version);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn distribute_reaches_all_members() {
+        let fleet = CacheFleet::new(8, CacheConfig::default());
+        fleet.distribute("/today", body("<html>results</html>"), 40.0);
+        for i in 0..8 {
+            let page = fleet.get_from(i, "/today").unwrap();
+            assert_eq!(&page.body[..], b"<html>results</html>");
+        }
+        assert_eq!(fleet.aggregate_stats().hits, 8);
+    }
+
+    #[test]
+    fn distribute_shares_the_body_allocation() {
+        let fleet = CacheFleet::new(4, CacheConfig::default());
+        let b = body("shared");
+        fleet.distribute("/x", b.clone(), 1.0);
+        // Bytes clones are refcounted views of one buffer.
+        let got = fleet.member(0).peek("/x").unwrap().body;
+        assert_eq!(got.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn local_fill_stays_local() {
+        let fleet = CacheFleet::new(3, CacheConfig::default());
+        fleet.put_local(1, "/event", body("data"), 10.0);
+        assert!(fleet.get_from(1, "/event").is_some());
+        assert!(fleet.get_from(0, "/event").is_none());
+        assert!(fleet.get_from(2, "/event").is_none());
+    }
+
+    #[test]
+    fn invalidate_everywhere_counts() {
+        let fleet = CacheFleet::new(4, CacheConfig::default());
+        fleet.distribute("/a", body("1"), 1.0);
+        fleet.put_local(0, "/b", body("2"), 1.0);
+        assert_eq!(fleet.invalidate_everywhere("/a"), 4);
+        assert_eq!(fleet.invalidate_everywhere("/b"), 1);
+        assert_eq!(fleet.invalidate_everywhere("/c"), 0);
+    }
+
+    #[test]
+    fn clear_all() {
+        let fleet = CacheFleet::new(2, CacheConfig::default());
+        fleet.distribute("/a", body("1"), 1.0);
+        fleet.clear();
+        assert!(fleet.member(0).is_empty());
+        assert!(fleet.member(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cache")]
+    fn empty_fleet_rejected() {
+        let _ = CacheFleet::new(0, CacheConfig::default());
+    }
+
+    #[test]
+    fn resync_rebuilds_a_recovered_node() {
+        let fleet = CacheFleet::new(3, CacheConfig::default());
+        fleet.distribute("/a", body("alpha"), 10.0);
+        fleet.distribute("/a", body("alpha-v2"), 10.0); // version 2
+        fleet.distribute("/b", body("beta"), 5.0);
+        // Node 2 dies and comes back cold with junk.
+        fleet.member(2).clear();
+        fleet.put_local(2, "/stale-junk", body("x"), 1.0);
+        let copied = fleet.resync(0, 2);
+        assert_eq!(copied, 2);
+        assert!(fleet.member(2).peek("/stale-junk").is_none(), "junk cleared");
+        // Content AND versions agree with the healthy peer.
+        for key in ["/a", "/b"] {
+            let healthy = fleet.member(0).peek(key).unwrap();
+            let resynced = fleet.member(2).peek(key).unwrap();
+            assert_eq!(healthy.body, resynced.body, "{key}");
+            assert_eq!(healthy.version, resynced.version, "{key}");
+        }
+        assert_eq!(fleet.member(2).peek("/a").unwrap().version, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "from itself")]
+    fn resync_self_rejected() {
+        let fleet = CacheFleet::new(2, CacheConfig::default());
+        fleet.resync(1, 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! The dynamic-page cache (§2 of the paper).
+//!
+//! Server programs check this cache before generating a page; the trigger
+//! monitor keeps it consistent by either **invalidating** stale entries or
+//! — the key 1998 innovation — **updating them in place** with freshly
+//! rendered bytes, so hot pages are never missing and hit rates approach
+//! 100%.
+//!
+//! Layout:
+//! * [`PageCache`] — a sharded concurrent map from page keys to immutable
+//!   byte bodies, with statistics and optional capacity bounds.
+//! * [`policy`] — replacement policies for the bounded configuration:
+//!   LRU, LFU, and GreedyDual-Size (the cost-aware algorithm of the
+//!   paper's reference \[1\], Cao & Irani). At the Olympics site "all dynamic
+//!   pages could be cached in memory without overflow ... the system never
+//!   had to apply a cache replacement algorithm" — the unbounded default —
+//!   but the bounded policies let the experiments show what happens when
+//!   memory is scarce.
+//! * [`CacheFleet`] — the eight per-frame serving caches fed by the
+//!   trigger monitor's distributor (Figure 6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod fleet;
+pub mod policy;
+pub mod stats;
+
+pub use cache::{CacheConfig, CachedPage, PageCache};
+pub use fleet::CacheFleet;
+pub use policy::ReplacementPolicy;
+pub use stats::{CacheStats, StatsSnapshot};

@@ -1,0 +1,192 @@
+//! Lock-free cache statistics.
+//!
+//! Counters are relaxed atomics: they are monotonic event counts whose
+//! exact interleaving does not matter, only their totals (Rust Atomics and
+//! Locks ch. 2's "statistics" pattern).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Shared, thread-safe counters for one cache.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    updates: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+    bytes_current: AtomicU64,
+    bytes_peak: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Successful lookups.
+    pub hits: u64,
+    /// Failed lookups.
+    pub misses: u64,
+    /// First-time insertions.
+    pub inserts: u64,
+    /// In-place updates of existing entries.
+    pub updates: u64,
+    /// Explicit invalidations.
+    pub invalidations: u64,
+    /// Capacity evictions.
+    pub evictions: u64,
+    /// Bytes currently cached.
+    pub bytes_current: u64,
+    /// High-water mark of cached bytes.
+    pub bytes_peak: u64,
+}
+
+impl StatsSnapshot {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl CacheStats {
+    /// Record a hit.
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Relaxed);
+    }
+
+    /// Record a miss.
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Relaxed);
+    }
+
+    /// Record an insertion of `bytes` new bytes.
+    pub fn insert(&self, bytes: u64) {
+        self.inserts.fetch_add(1, Relaxed);
+        self.grow(bytes);
+    }
+
+    /// Record an in-place update changing the entry size by
+    /// `old_bytes → new_bytes`.
+    pub fn update(&self, old_bytes: u64, new_bytes: u64) {
+        self.updates.fetch_add(1, Relaxed);
+        self.shrink(old_bytes);
+        self.grow(new_bytes);
+    }
+
+    /// Record an invalidation freeing `bytes`.
+    pub fn invalidate(&self, bytes: u64) {
+        self.invalidations.fetch_add(1, Relaxed);
+        self.shrink(bytes);
+    }
+
+    /// Record an eviction freeing `bytes`.
+    pub fn evict(&self, bytes: u64) {
+        self.evictions.fetch_add(1, Relaxed);
+        self.shrink(bytes);
+    }
+
+    fn grow(&self, bytes: u64) {
+        let now = self.bytes_current.fetch_add(bytes, Relaxed) + bytes;
+        // Racy max update is fine: peak is advisory and monotone.
+        self.bytes_peak.fetch_max(now, Relaxed);
+    }
+
+    fn shrink(&self, bytes: u64) {
+        self.bytes_current.fetch_sub(bytes, Relaxed);
+    }
+
+    /// Copy the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            inserts: self.inserts.load(Relaxed),
+            updates: self.updates.load(Relaxed),
+            invalidations: self.invalidations.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
+            bytes_current: self.bytes_current.load(Relaxed),
+            bytes_peak: self.bytes_peak.load(Relaxed),
+        }
+    }
+
+    /// Zero the event counters (byte gauges are left alone: they track
+    /// live state, not events).
+    pub fn reset_events(&self) {
+        self.hits.store(0, Relaxed);
+        self.misses.store(0, Relaxed);
+        self.inserts.store(0, Relaxed);
+        self.updates.store(0, Relaxed);
+        self.invalidations.store(0, Relaxed);
+        self.evictions.store(0, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let s = CacheStats::default();
+        s.hit();
+        s.hit();
+        s.miss();
+        s.insert(100);
+        s.update(100, 150);
+        s.invalidate(150);
+        let snap = s.snapshot();
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.inserts, 1);
+        assert_eq!(snap.updates, 1);
+        assert_eq!(snap.invalidations, 1);
+        assert_eq!(snap.bytes_current, 0);
+        assert_eq!(snap.bytes_peak, 150);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let s = CacheStats::default();
+        assert_eq!(s.snapshot().hit_rate(), 0.0);
+        for _ in 0..9 {
+            s.hit();
+        }
+        s.miss();
+        assert!((s.snapshot().hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_keeps_gauges() {
+        let s = CacheStats::default();
+        s.insert(500);
+        s.hit();
+        s.reset_events();
+        let snap = s.snapshot();
+        assert_eq!(snap.hits, 0);
+        assert_eq!(snap.inserts, 0);
+        assert_eq!(snap.bytes_current, 500);
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        use std::sync::Arc;
+        let s = Arc::new(CacheStats::default());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    s.hit();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().hits, 80_000);
+    }
+}

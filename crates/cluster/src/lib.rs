@@ -1,0 +1,34 @@
+//! Simulation of the Nagano site's global serving architecture (§3–§4).
+//!
+//! The production system served from four complexes — Schaumburg (4 SP2
+//! frames), Columbus (3), Bethesda (3), Tokyo (3), 13 frames / 143
+//! processors in all. Requests were routed by **MSIRP** (Multiple Single
+//! IP Routing): twelve single-IP-routed addresses cycled by round-robin
+//! DNS, each advertised by a primary and a secondary Network Dispatcher
+//! with OSPF costs, giving 1/12-granularity traffic shifting and automatic
+//! failover through four tiers (server → frame → dispatcher → complex) —
+//! what the paper calls *elegant degradation*.
+//!
+//! * [`topology`] — sites, frames/nodes, region↔site OSPF cost matrix,
+//!   the 12-address MSIRP table and route selection.
+//! * [`state`] — live cluster state: per-node health, dispatcher health,
+//!   advisor-driven node selection, failure injection.
+//! * [`sim`] — the 16-day discrete-event driver combining the workload
+//!   model, per-site trigger monitors with replication delays, routing,
+//!   and measurement (the source of Figures 18, 20–23 and the peak /
+//!   availability / freshness experiments).
+//! * [`remote`] — parameterised models of the *other* web sites measured
+//!   in Tables 1–2 (competitor ISP home pages).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod remote;
+pub mod sim;
+pub mod state;
+pub mod topology;
+
+pub use remote::RemoteSite;
+pub use sim::{random_soak_plan, ClusterConfig, ClusterReport, ClusterSim, FailurePlanEntry};
+pub use state::{ClusterState, FailureKind, SiteState};
+pub use topology::{Advert, Msirp, RouteDecision, SiteId, SITES};

@@ -1,0 +1,632 @@
+//! The 16-day discrete-event driver: workload in, figures out.
+//!
+//! One run wires together the full reproduction stack — seeded database,
+//! page registry, per-site trigger monitors (with Figure-5 replication
+//! delays), MSIRP routing over the live cluster state, and the request
+//! model — and measures everything the paper's evaluation section reports.
+
+use std::sync::Arc;
+
+use rustc_hash::FxHashMap;
+
+use nagano_cache::{CacheConfig, CacheFleet, StatsSnapshot};
+use nagano_db::{seed_games, GamesConfig, OlympicDb, Transaction};
+use nagano_pagegen::{PageKey, PageRegistry, Renderer};
+use nagano_simcore::{
+    DeterministicRng, EventQueue, Histogram, LinkClass, LinkModel, SimDuration, SimTime,
+    TimeSeries, Welford,
+};
+use nagano_trigger::{ConsistencyPolicy, TriggerMonitor};
+use nagano_workload::{Region, RequestModel, UpdateSchedule};
+
+use crate::state::{ClusterState, FailureKind};
+use crate::topology::{region_latency_ms, Msirp, RouteDecision, SITES};
+
+/// One scheduled failure or restore.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailurePlanEntry {
+    /// When it happens.
+    pub at: SimTime,
+    /// What fails or recovers.
+    pub kind: FailureKind,
+    /// `false` = fail, `true` = restore.
+    pub up: bool,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Divide paper-scale request volumes by this (1,000 ⇒ ~635k
+    /// simulated requests across the Games).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Dataset dimensions.
+    pub games: GamesConfig,
+    /// Consistency policy run at every site's trigger monitor.
+    pub policy: ConsistencyPolicy,
+    /// First simulated day (1-based, inclusive).
+    pub start_day: u32,
+    /// Last simulated day (inclusive).
+    pub end_day: u32,
+    /// Scheduled failures/restores.
+    pub failure_plan: Vec<FailurePlanEntry>,
+    /// External congestion on US paths: `(first_day, last_day, factor)` —
+    /// Figure 22's days 7–9 anomaly was "caused by problems external to
+    /// the site".
+    pub us_congestion: (u32, u32, f64),
+    /// 1996-style co-location: updates run **on the serving processors**,
+    /// so page service slows down around update bursts. The 1998 design
+    /// ran updates "on different processors from the ones serving pages"
+    /// so "response times were not adversely affected around the times of
+    /// peak updates" (§2).
+    pub updates_on_serving_nodes: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            scale: 1_000.0,
+            seed: 0x1998,
+            games: GamesConfig::full(),
+            policy: ConsistencyPolicy::UpdateInPlace,
+            start_day: 1,
+            end_day: 16,
+            failure_plan: Vec::new(),
+            us_congestion: (7, 9, 1.45),
+            updates_on_serving_nodes: false,
+        }
+    }
+}
+
+/// Everything a run measures. Counts are in *simulated* units; multiply
+/// by `scale` for paper units (helpers provided).
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// The scale divisor used.
+    pub scale: f64,
+    /// Requests attempted.
+    pub total_requests: u64,
+    /// Requests no complex could serve.
+    pub failed_requests: u64,
+    /// Global request series, minute bins.
+    pub per_minute: TimeSeries,
+    /// Per-site request series, minute bins.
+    pub per_site_minute: Vec<TimeSeries>,
+    /// Requests by client region.
+    pub by_region: FxHashMap<Region, u64>,
+    /// Body bytes served per day (index 0 = day 1), simulated units.
+    pub bytes_per_day: Vec<f64>,
+    /// Home-page modem response times (seconds) per (day, region).
+    pub response_by_day_region: FxHashMap<(u32, Region), Welford>,
+    /// All modem home-page responses (seconds) — used against the §4
+    /// design requirement of ≤30 s per page on a 28.8 kbps modem.
+    pub modem_responses: Histogram,
+    /// Server-side service time (ms) for requests within ±2 minutes of an
+    /// update being applied at their serving site.
+    pub service_near_updates: Welford,
+    /// Server-side service time (ms) for all other requests.
+    pub service_away_from_updates: Welford,
+    /// Aggregated cache statistics across all sites.
+    pub cache: StatsSnapshot,
+    /// Pages regenerated per day across sites (index 0 = day 1).
+    pub regen_per_day: Vec<u64>,
+    /// Freshness: master-commit → site-visible latency (seconds).
+    pub freshness: Welford,
+    /// Worst-case freshness in seconds.
+    pub freshness_max: f64,
+    /// Transactions applied at sites.
+    pub updates_applied: u64,
+}
+
+impl ClusterReport {
+    /// Total requests in paper units.
+    pub fn total_requests_paper(&self) -> f64 {
+        self.total_requests as f64 * self.scale
+    }
+
+    /// Availability: fraction of requests served.
+    pub fn availability(&self) -> f64 {
+        if self.total_requests == 0 {
+            return 1.0;
+        }
+        1.0 - self.failed_requests as f64 / self.total_requests as f64
+    }
+
+    /// Overall cache hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// Peak minute: `(minute_index, simulated_count, paper_scale_count)`.
+    pub fn peak_minute(&self) -> (usize, f64, f64) {
+        let (idx, v) = self.per_minute.peak();
+        (idx, v, v * self.scale)
+    }
+
+    /// Requests per site over the whole run, simulated units.
+    pub fn per_site_totals(&self) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        for (i, ts) in self.per_site_minute.iter().enumerate() {
+            out[i] = ts.total();
+        }
+        out
+    }
+
+    /// Requests per day (paper-scale millions), from the minute series.
+    pub fn hits_per_day_paper_millions(&self) -> Vec<f64> {
+        self.per_minute
+            .rebin(1440)
+            .bins()
+            .iter()
+            .map(|&v| v * self.scale / 1.0e6)
+            .collect()
+    }
+}
+
+enum SimEvent {
+    /// An update reaches the master database.
+    MasterUpdate(usize),
+    /// A replicated transaction becomes processable at a site.
+    SiteApply(usize, Arc<Transaction>),
+    /// A failure-plan entry fires.
+    Failure(usize),
+}
+
+/// Generate a random failure soak plan: `events_per_day` component
+/// failures per day across `start_day..=end_day`, each restored after 30
+/// to 90 minutes. At most one complex-level failure is in flight at a
+/// time (the production site's redundancy budget assumed no simultaneous
+/// multi-complex outage; none occurred).
+pub fn random_soak_plan(
+    start_day: u32,
+    end_day: u32,
+    events_per_day: u32,
+    seed: u64,
+) -> Vec<FailurePlanEntry> {
+    let mut rng = DeterministicRng::seed_from_u64(seed);
+    let cluster = ClusterState::new();
+    let mut plan = Vec::new();
+    // (restore_minute, site) of the currently scheduled complex outage.
+    let mut complex_busy_until: i64 = -1;
+    for day in start_day..=end_day {
+        for _ in 0..events_per_day {
+            let at_min = (day as u64 - 1) * 1440 + rng.index(1380) as u64;
+            let duration = 30 + rng.index(61) as u64; // 30..=90 minutes
+            let mut kind = cluster.random_failure_target(&mut rng);
+            if let FailureKind::Complex { .. } = kind {
+                if (at_min as i64) <= complex_busy_until {
+                    // Another complex is already down: demote to a frame
+                    // failure at the same site.
+                    let site = match kind {
+                        FailureKind::Complex { site } => site,
+                        _ => unreachable!(),
+                    };
+                    kind = FailureKind::Frame { site, frame: 0 };
+                } else {
+                    complex_busy_until = (at_min + duration) as i64;
+                }
+            }
+            plan.push(FailurePlanEntry {
+                at: SimTime::from_mins(at_min),
+                kind,
+                up: false,
+            });
+            plan.push(FailurePlanEntry {
+                at: SimTime::from_mins(at_min + duration),
+                kind,
+                up: true,
+            });
+        }
+    }
+    plan.sort_by_key(|e| e.at);
+    plan
+}
+
+/// The simulation driver.
+pub struct ClusterSim {
+    config: ClusterConfig,
+}
+
+impl ClusterSim {
+    /// New simulation with `config`.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.start_day >= 1 && config.end_day >= config.start_day);
+        ClusterSim { config }
+    }
+
+    /// Run to completion.
+    pub fn run(&self) -> ClusterReport {
+        let cfg = &self.config;
+        let mut rng = DeterministicRng::seed_from_u64(cfg.seed);
+        let db = Arc::new(OlympicDb::new());
+        seed_games(&db, &cfg.games);
+        let registry = Arc::new(PageRegistry::build(&db, cfg.games.days));
+        let model = RequestModel::new(&db, Arc::clone(&registry), cfg.scale);
+        let mut update_rng = rng.fork(1);
+        let schedule = UpdateSchedule::generate(&db, &mut update_rng);
+
+        // One trigger monitor + single-member cache fleet per site.
+        let monitors: Vec<TriggerMonitor> = (0..4)
+            .map(|_| {
+                let fleet = Arc::new(CacheFleet::new(1, CacheConfig::default()));
+                let m = TriggerMonitor::new(
+                    Renderer::new(Arc::clone(&db)),
+                    fleet,
+                    Arc::clone(&registry),
+                    cfg.policy,
+                );
+                m.prewarm();
+                m
+            })
+            .collect();
+
+        let mut cluster = ClusterState::new();
+        let msirp = Msirp::nagano();
+
+        let horizon_days = cfg.end_day as u64;
+        let mut report = ClusterReport {
+            scale: cfg.scale,
+            total_requests: 0,
+            failed_requests: 0,
+            per_minute: TimeSeries::new(
+                SimDuration::from_mins(1),
+                SimDuration::from_days(horizon_days),
+            ),
+            per_site_minute: (0..4)
+                .map(|_| {
+                    TimeSeries::new(
+                        SimDuration::from_mins(1),
+                        SimDuration::from_days(horizon_days),
+                    )
+                })
+                .collect(),
+            by_region: FxHashMap::default(),
+            bytes_per_day: vec![0.0; cfg.end_day as usize],
+            response_by_day_region: FxHashMap::default(),
+            modem_responses: Histogram::for_latency(),
+            service_near_updates: Welford::new(),
+            service_away_from_updates: Welford::new(),
+            cache: StatsSnapshot::default(),
+            regen_per_day: vec![0; cfg.end_day as usize],
+            freshness: Welford::new(),
+            freshness_max: 0.0,
+            updates_applied: 0,
+        };
+
+        // Seed the event queue: master updates + failure plan.
+        let mut queue: EventQueue<SimEvent> = EventQueue::new();
+        for (i, u) in schedule.updates().iter().enumerate() {
+            if u.day >= cfg.start_day && u.day <= cfg.end_day {
+                queue.schedule(u.at, SimEvent::MasterUpdate(i));
+            }
+        }
+        for (i, f) in cfg.failure_plan.iter().enumerate() {
+            queue.schedule(f.at, SimEvent::Failure(i));
+        }
+
+        let mut last_apply_minute: [i64; 4] = [i64::MIN; 4];
+        let start_min = (cfg.start_day as u64 - 1) * 1440;
+        let end_min = cfg.end_day as u64 * 1440;
+        let mut req_rng = rng.fork(2);
+        let mut apply_rng = rng.fork(3);
+
+        for minute in start_min..end_min {
+            let minute_end = SimTime::from_mins(minute + 1);
+            // Drain events due in this minute first.
+            while let Some((at, ev)) = queue.pop_before(minute_end) {
+                match ev {
+                    SimEvent::MasterUpdate(i) => {
+                        let update = schedule.updates()[i];
+                        let txn = UpdateSchedule::apply(&update, &db, &mut apply_rng);
+                        for (s, spec) in SITES.iter().enumerate() {
+                            queue.schedule(
+                                at + SimDuration::from_secs(spec.replication_delay_secs),
+                                SimEvent::SiteApply(s, Arc::clone(&txn)),
+                            );
+                        }
+                    }
+                    SimEvent::SiteApply(s, txn) => {
+                        let outcome = monitors[s].process_txn(&txn);
+                        last_apply_minute[s] = at.minute_index() as i64;
+                        report.updates_applied += 1;
+                        let day_idx = at.day().min(cfg.end_day) as usize - 1;
+                        report.regen_per_day[day_idx] += outcome.regenerated.len() as u64;
+                        // Visible-latency model: replication delay (already
+                        // elapsed at `at`) plus regeneration spread over the
+                        // SMP's render workers.
+                        let regen_cost_ms: f64 = outcome
+                            .regenerated
+                            .iter()
+                            .map(|&k| monitors[s].fleet().member(0).peek(&k.to_url())
+                                .map(|_| 1.0).unwrap_or(0.0))
+                            .sum::<f64>()
+                            * 150.0
+                            / 8.0;
+                        let commit_at = at - SimDuration::from_secs(
+                            SITES[s].replication_delay_secs,
+                        );
+                        let visible =
+                            (at + SimDuration::from_secs_f64(regen_cost_ms / 1_000.0)) - commit_at;
+                        report.freshness.push(visible.as_secs_f64());
+                        report.freshness_max = report.freshness_max.max(visible.as_secs_f64());
+                    }
+                    SimEvent::Failure(i) => {
+                        let entry = cfg.failure_plan[i];
+                        cluster.apply(entry.kind, entry.up);
+                    }
+                }
+            }
+
+            // Generate this minute's client requests.
+            let t_mid = SimTime::from_mins(minute) + SimDuration::from_secs(30);
+            let count = model.sample_minute_count(t_mid, &mut req_rng);
+            let day = t_mid.day();
+            let day_idx = day.min(cfg.end_day) as usize - 1;
+            for _ in 0..count {
+                report.total_requests += 1;
+                let sample = model.sample_request(t_mid, &mut req_rng);
+                *report.by_region.entry(sample.region).or_insert(0) += 1;
+                let addr = cluster.next_dns_address();
+                let adverts = cluster.adverts(&msirp, addr);
+                let RouteDecision::Site(site) = msirp.route(sample.region, addr, &adverts)
+                else {
+                    report.failed_requests += 1;
+                    continue;
+                };
+                // Dispatcher picks a node (advisors skip dead ones); with
+                // a single logical cache per site the node only matters
+                // for load accounting.
+                if cluster.site_mut(site).pick_node().is_none() {
+                    report.failed_requests += 1;
+                    continue;
+                }
+                let url = sample.page.to_url();
+                let monitor = &monitors[site.0];
+                let (bytes, mut server_ms) = match monitor.fleet().get_from(0, &url) {
+                    Some(page) => (page.body.len() as u64, 0.5),
+                    None => {
+                        let out = monitor.demand_fill(0, sample.page);
+                        (out.body.len() as u64, out.cost_ms)
+                    }
+                };
+                // §2: in the 1996 design the serving processors also ran
+                // the updates, so service slows in the minutes around an
+                // apply (regeneration competes for the same CPUs).
+                let near_update =
+                    (minute as i64).saturating_sub(last_apply_minute[site.0]).unsigned_abs() <= 2;
+                if cfg.updates_on_serving_nodes && near_update {
+                    server_ms = server_ms * 8.0 + 150.0;
+                }
+                if near_update {
+                    report.service_near_updates.push(server_ms);
+                } else {
+                    report.service_away_from_updates.push(server_ms);
+                }
+                report.per_minute.incr(t_mid);
+                report.per_site_minute[site.0].incr(t_mid);
+                report.bytes_per_day[day_idx] += bytes as f64;
+
+                // Response-time sampling: the paper's Figure 22 methodology
+                // (28.8 kbps modem fetching the current home page).
+                if sample.link == LinkClass::Modem28_8 {
+                    if let PageKey::Home(_) = sample.page {
+                        let mut link = LinkModel::new(LinkClass::Modem28_8);
+                        let (c_lo, c_hi, factor) = cfg.us_congestion;
+                        let is_us = matches!(sample.region, Region::UsEast | Region::UsWest);
+                        if is_us && (c_lo..=c_hi).contains(&day) {
+                            link = link.with_congestion(factor);
+                        }
+                        let server = SimDuration::from_secs_f64(
+                            (server_ms + region_latency_ms(sample.region, site)) / 1_000.0,
+                        );
+                        let est = link.sample(bytes, server, &mut req_rng);
+                        report
+                            .response_by_day_region
+                            .entry((day, sample.region))
+                            .or_default()
+                            .push(est.response_secs);
+                        report.modem_responses.record(est.response_secs);
+                    }
+                }
+            }
+        }
+
+        // Aggregate cache stats across sites.
+        let mut agg = StatsSnapshot::default();
+        for m in &monitors {
+            let s = m.fleet().aggregate_stats();
+            agg.hits += s.hits;
+            agg.misses += s.misses;
+            agg.inserts += s.inserts;
+            agg.updates += s.updates;
+            agg.invalidations += s.invalidations;
+            agg.evictions += s.evictions;
+            agg.bytes_current += s.bytes_current;
+            agg.bytes_peak += s.bytes_peak;
+        }
+        report.cache = agg;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TOKYO;
+
+    /// Small, fast configuration: two days at heavy scale-down.
+    fn quick_config() -> ClusterConfig {
+        ClusterConfig {
+            scale: 20_000.0,
+            seed: 42,
+            games: GamesConfig::small(),
+            start_day: 2,
+            end_day: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn quick_run_serves_everything_with_high_hit_rate() {
+        let report = ClusterSim::new(quick_config()).run();
+        assert!(report.total_requests > 1_000, "{}", report.total_requests);
+        assert_eq!(report.failed_requests, 0);
+        assert_eq!(report.availability(), 1.0);
+        // Update-in-place: hit rate near 100%.
+        assert!(report.hit_rate() > 0.99, "hit rate {}", report.hit_rate());
+        assert!(report.updates_applied > 0);
+        assert!(report.cache.updates > 0, "pages updated in place");
+    }
+
+    #[test]
+    fn invalidate_policy_lowers_hit_rate() {
+        let mut cfg = quick_config();
+        cfg.policy = ConsistencyPolicy::Invalidate;
+        let inv = ClusterSim::new(cfg).run();
+        let upd = ClusterSim::new(quick_config()).run();
+        assert!(
+            inv.hit_rate() < upd.hit_rate(),
+            "invalidate {} vs update {}",
+            inv.hit_rate(),
+            upd.hit_rate()
+        );
+    }
+
+    #[test]
+    fn conservative_policy_is_much_worse() {
+        let mut cfg = quick_config();
+        cfg.policy = ConsistencyPolicy::Conservative96;
+        let cons = ClusterSim::new(cfg).run();
+        assert!(
+            cons.hit_rate() < 0.95,
+            "conservative hit rate {}",
+            cons.hit_rate()
+        );
+    }
+
+    #[test]
+    fn regions_route_to_their_complexes() {
+        let report = ClusterSim::new(quick_config()).run();
+        let totals = report.per_site_totals();
+        // All four complexes serve traffic; Tokyo carries a large share
+        // (Japan + Oceania + spillover).
+        for (i, t) in totals.iter().enumerate() {
+            assert!(*t > 0.0, "site {i} served nothing");
+        }
+        assert!(totals[TOKYO.0] > 0.15 * totals.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn complex_failure_degrades_elegantly() {
+        let mut cfg = quick_config();
+        cfg.failure_plan = vec![
+            FailurePlanEntry {
+                at: SimTime::at(2, 12, 0),
+                kind: FailureKind::Complex { site: TOKYO.0 },
+                up: false,
+            },
+            FailurePlanEntry {
+                at: SimTime::at(2, 18, 0),
+                kind: FailureKind::Complex { site: TOKYO.0 },
+                up: true,
+            },
+        ];
+        let report = ClusterSim::new(cfg).run();
+        // Nothing fails: traffic reroutes to surviving complexes.
+        assert_eq!(report.failed_requests, 0);
+        assert_eq!(report.availability(), 1.0);
+        // Tokyo's series is dark during the outage window.
+        let tokyo = &report.per_site_minute[TOKYO.0];
+        let outage_minutes = (1440 + 12 * 60 + 5)..(1440 + 17 * 60 + 55);
+        let during: f64 = outage_minutes.clone().map(|m| tokyo.bins()[m]).sum();
+        assert_eq!(during, 0.0, "Tokyo served during its outage");
+        let after: f64 = ((1440 + 18 * 60 + 5)..(2 * 1440 - 1))
+            .map(|m| tokyo.bins()[m])
+            .sum();
+        assert!(after > 0.0, "Tokyo never recovered");
+    }
+
+    #[test]
+    fn freshness_stays_within_the_sixty_second_bound() {
+        let report = ClusterSim::new(quick_config()).run();
+        assert!(report.freshness.count() > 0);
+        assert!(
+            report.freshness_max < 60.0,
+            "max freshness {}s",
+            report.freshness_max
+        );
+        assert!(report.freshness.mean() < 20.0);
+    }
+
+    #[test]
+    fn bytes_and_regions_accumulate() {
+        let report = ClusterSim::new(quick_config()).run();
+        assert!(report.bytes_per_day[1] > 0.0);
+        assert!(report.by_region.len() >= 5);
+        let region_total: u64 = report.by_region.values().sum();
+        assert_eq!(region_total, report.total_requests);
+        assert!(!report.response_by_day_region.is_empty());
+    }
+
+    #[test]
+    fn colocation_degrades_service_times() {
+        let mut cfg = quick_config();
+        cfg.policy = ConsistencyPolicy::Conservative96;
+        cfg.updates_on_serving_nodes = true;
+        let colocated = ClusterSim::new(cfg).run();
+        let separated = ClusterSim::new(quick_config()).run();
+        assert!(colocated.service_near_updates.count() > 0);
+        assert!(
+            colocated.service_near_updates.mean()
+                > colocated.service_away_from_updates.mean() * 3.0,
+            "near {} vs away {}",
+            colocated.service_near_updates.mean(),
+            colocated.service_away_from_updates.mean()
+        );
+        // The 1998 separation keeps service flat around updates.
+        let near = separated.service_near_updates.mean();
+        let away = separated.service_away_from_updates.mean();
+        assert!(
+            (near - away).abs() < away.max(0.5),
+            "1998 near {near} vs away {away}"
+        );
+    }
+
+    #[test]
+    fn modem_histogram_collects_home_page_fetches() {
+        let report = ClusterSim::new(quick_config()).run();
+        assert!(report.modem_responses.count() > 0);
+        // Uncongested days: responses sit around 20 s, under the 30 s
+        // requirement.
+        assert!(report.modem_responses.median() > 10.0);
+        assert!(report.modem_responses.median() < 30.0);
+    }
+
+    #[test]
+    fn report_helpers_are_consistent() {
+        let report = ClusterSim::new(quick_config()).run();
+        // per_minute total equals served requests (total - failed).
+        assert_eq!(
+            report.per_minute.total() as u64,
+            report.total_requests - report.failed_requests
+        );
+        // per-site totals sum to the same.
+        let site_sum: f64 = report.per_site_totals().iter().sum();
+        assert_eq!(site_sum as u64, report.total_requests - report.failed_requests);
+        // Daily paper-unit series covers the configured horizon.
+        assert_eq!(report.hits_per_day_paper_millions().len(), 3);
+        let (idx, count, paper) = report.peak_minute();
+        assert!(idx < report.per_minute.bins().len());
+        assert!((count * report.scale - paper).abs() < 1e-6);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = ClusterSim::new(quick_config()).run();
+        let b = ClusterSim::new(quick_config()).run();
+        assert_eq!(a.total_requests, b.total_requests);
+        assert_eq!(a.cache.hits, b.cache.hits);
+        assert_eq!(a.per_site_totals(), b.per_site_totals());
+    }
+}

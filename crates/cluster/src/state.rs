@@ -1,0 +1,401 @@
+//! Live cluster state: node/frame/dispatcher/complex health, advisor-based
+//! node selection, per-site address advertisement, and failure injection —
+//! the machinery of "elegant degradation" (§4.2).
+
+use nagano_simcore::DeterministicRng;
+use serde::{Deserialize, Serialize};
+
+use crate::topology::{Advert, Msirp, SiteId, SITES};
+
+/// What failed (or recovered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// One serving node (web server process / UP).
+    Node {
+        /// Complex.
+        site: usize,
+        /// Frame within the complex.
+        frame: usize,
+        /// Node within the frame.
+        node: usize,
+    },
+    /// A whole SP2 frame.
+    Frame {
+        /// Complex.
+        site: usize,
+        /// Frame within the complex.
+        frame: usize,
+    },
+    /// One of the complex's four Network Dispatcher boxes.
+    Dispatcher {
+        /// Complex.
+        site: usize,
+        /// ND box index (0..4).
+        nd: usize,
+    },
+    /// The entire complex (power/network).
+    Complex {
+        /// Complex.
+        site: usize,
+    },
+}
+
+/// Health state of one complex.
+#[derive(Debug, Clone)]
+pub struct SiteState {
+    /// `nodes[frame][node]` — serving-node health.
+    nodes: Vec<Vec<bool>>,
+    /// Frame-level health (a dead frame hides its nodes).
+    frames: Vec<bool>,
+    /// ND box health.
+    nd: Vec<bool>,
+    /// Addresses the operators withdrew at this complex (traffic
+    /// shifting in 8⅓% steps).
+    withdrawn: [bool; 12],
+    /// Complex-level health.
+    complex_up: bool,
+    /// Advisor round-robin cursor.
+    cursor: usize,
+}
+
+impl SiteState {
+    /// Fresh, fully healthy complex with the production shape.
+    pub fn new(site: SiteId) -> Self {
+        let spec = &SITES[site.0];
+        SiteState {
+            nodes: vec![vec![true; spec.nodes_per_frame]; spec.frames],
+            frames: vec![true; spec.frames],
+            nd: vec![true; spec.nd_boxes],
+            withdrawn: [false; 12],
+            complex_up: true,
+            cursor: 0,
+        }
+    }
+
+    /// Whether the complex can accept traffic at all: it is up, has at
+    /// least one working ND box, and at least one live serving node.
+    pub fn available(&self) -> bool {
+        self.complex_up && self.nd.iter().any(|&b| b) && self.alive_node_count() > 0
+    }
+
+    /// How this complex advertises `addr` right now.
+    pub fn advert(&self, msirp: &Msirp, addr: usize) -> Advert {
+        if !self.available() || self.withdrawn[addr % 12] {
+            return Advert::None;
+        }
+        if self.nd[msirp.primary_box(addr)] {
+            Advert::Primary
+        } else if self.nd[msirp.secondary_box(addr)] {
+            Advert::Secondary
+        } else if self.nd.iter().any(|&b| b) {
+            // Both designated boxes dead: a surviving box re-advertises
+            // at high cost so the address never goes dark while the
+            // complex can serve at all.
+            Advert::Fallback
+        } else {
+            Advert::None
+        }
+    }
+
+    /// Withdraw or re-advertise an address at this complex.
+    pub fn set_withdrawn(&mut self, addr: usize, withdrawn: bool) {
+        self.withdrawn[addr % 12] = withdrawn;
+    }
+
+    /// Count of serving nodes the advisors consider healthy.
+    pub fn alive_node_count(&self) -> usize {
+        if !self.complex_up {
+            return 0;
+        }
+        self.nodes
+            .iter()
+            .zip(&self.frames)
+            .filter(|(_, &f)| f)
+            .map(|(frame, _)| frame.iter().filter(|&&n| n).count())
+            .sum()
+    }
+
+    /// Total configured serving nodes.
+    pub fn total_node_count(&self) -> usize {
+        self.nodes.iter().map(|f| f.len()).sum()
+    }
+
+    /// Pick the next serving node (advisor-maintained round robin over
+    /// live nodes). Returns `(frame, node)`.
+    pub fn pick_node(&mut self) -> Option<(usize, usize)> {
+        let alive = self.alive_node_count();
+        if !self.available() || alive == 0 {
+            return None;
+        }
+        self.cursor = (self.cursor + 1) % alive;
+        let mut remaining = self.cursor;
+        for (fi, frame) in self.nodes.iter().enumerate() {
+            if !self.frames[fi] {
+                continue;
+            }
+            for (ni, &up) in frame.iter().enumerate() {
+                if up {
+                    if remaining == 0 {
+                        return Some((fi, ni));
+                    }
+                    remaining -= 1;
+                }
+            }
+        }
+        None
+    }
+
+    /// Apply a failure (`up = false`) or restore (`up = true`).
+    pub fn apply(&mut self, kind: FailureKind, up: bool) {
+        match kind {
+            FailureKind::Node { frame, node, .. } => {
+                if let Some(f) = self.nodes.get_mut(frame) {
+                    if let Some(n) = f.get_mut(node) {
+                        *n = up;
+                    }
+                }
+            }
+            FailureKind::Frame { frame, .. } => {
+                if let Some(f) = self.frames.get_mut(frame) {
+                    *f = up;
+                }
+            }
+            FailureKind::Dispatcher { nd, .. } => {
+                if let Some(b) = self.nd.get_mut(nd) {
+                    *b = up;
+                }
+            }
+            FailureKind::Complex { .. } => self.complex_up = up,
+        }
+    }
+}
+
+/// Health state across all four complexes.
+#[derive(Debug, Clone)]
+pub struct ClusterState {
+    sites: Vec<SiteState>,
+    dns_counter: usize,
+}
+
+impl Default for ClusterState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterState {
+    /// All-healthy production cluster.
+    pub fn new() -> Self {
+        ClusterState {
+            sites: (0..4).map(|i| SiteState::new(SiteId(i))).collect(),
+            dns_counter: 0,
+        }
+    }
+
+    /// Access a site.
+    pub fn site(&self, id: SiteId) -> &SiteState {
+        &self.sites[id.0]
+    }
+
+    /// Mutable access to a site.
+    pub fn site_mut(&mut self, id: SiteId) -> &mut SiteState {
+        &mut self.sites[id.0]
+    }
+
+    /// Each complex's advertisement of `addr`.
+    pub fn adverts(&self, msirp: &Msirp, addr: usize) -> [Advert; 4] {
+        [
+            self.sites[0].advert(msirp, addr),
+            self.sites[1].advert(msirp, addr),
+            self.sites[2].advert(msirp, addr),
+            self.sites[3].advert(msirp, addr),
+        ]
+    }
+
+    /// Site availability vector.
+    pub fn availability(&self) -> [bool; 4] {
+        [
+            self.sites[0].available(),
+            self.sites[1].available(),
+            self.sites[2].available(),
+            self.sites[3].available(),
+        ]
+    }
+
+    /// Round-robin DNS: the next MSIRP address handed to a client.
+    pub fn next_dns_address(&mut self) -> usize {
+        self.dns_counter = (self.dns_counter + 1) % 12;
+        self.dns_counter
+    }
+
+    /// Apply a failure/restore.
+    pub fn apply(&mut self, kind: FailureKind, up: bool) {
+        let site = match kind {
+            FailureKind::Node { site, .. }
+            | FailureKind::Frame { site, .. }
+            | FailureKind::Dispatcher { site, .. }
+            | FailureKind::Complex { site } => site,
+        };
+        self.sites[site].apply(kind, up);
+    }
+
+    /// Pick a random failure target (chaos testing).
+    pub fn random_failure_target(&self, rng: &mut DeterministicRng) -> FailureKind {
+        let site = rng.index(4);
+        match rng.index(4) {
+            0 => FailureKind::Node {
+                site,
+                frame: rng.index(SITES[site].frames),
+                node: rng.index(SITES[site].nodes_per_frame),
+            },
+            1 => FailureKind::Frame {
+                site,
+                frame: rng.index(SITES[site].frames),
+            },
+            2 => FailureKind::Dispatcher {
+                site,
+                nd: rng.index(SITES[site].nd_boxes),
+            },
+            _ => FailureKind::Complex { site },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TOKYO;
+
+    #[test]
+    fn healthy_cluster_shape() {
+        let c = ClusterState::new();
+        assert_eq!(c.availability(), [true; 4]);
+        assert_eq!(c.site(SiteId(0)).alive_node_count(), 32); // 4 frames × 8
+        assert_eq!(c.site(TOKYO).alive_node_count(), 24);
+        assert_eq!(c.site(TOKYO).total_node_count(), 24);
+        let m = Msirp::nagano();
+        for addr in 0..12 {
+            assert_eq!(c.adverts(&m, addr), [Advert::Primary; 4]);
+        }
+    }
+
+    #[test]
+    fn node_failure_shrinks_the_pool() {
+        let mut c = ClusterState::new();
+        c.apply(
+            FailureKind::Node {
+                site: 3,
+                frame: 0,
+                node: 0,
+            },
+            false,
+        );
+        assert_eq!(c.site(TOKYO).alive_node_count(), 23);
+        assert!(c.site(TOKYO).available());
+        // Advisors never pick the dead node.
+        let mut state = c.site(TOKYO).clone();
+        for _ in 0..200 {
+            let (f, n) = state.pick_node().unwrap();
+            assert!(!(f == 0 && n == 0), "picked dead node");
+        }
+    }
+
+    #[test]
+    fn frame_failure_hides_its_nodes() {
+        let mut c = ClusterState::new();
+        c.apply(FailureKind::Frame { site: 3, frame: 1 }, false);
+        assert_eq!(c.site(TOKYO).alive_node_count(), 16);
+        assert!(c.site(TOKYO).available());
+        c.apply(FailureKind::Frame { site: 3, frame: 1 }, true);
+        assert_eq!(c.site(TOKYO).alive_node_count(), 24);
+    }
+
+    #[test]
+    fn nd_box_failure_degrades_its_addresses_to_secondary() {
+        let mut c = ClusterState::new();
+        let m = Msirp::nagano();
+        c.apply(FailureKind::Dispatcher { site: 3, nd: 0 }, false);
+        assert!(c.site(TOKYO).available(), "three boxes remain");
+        // Addresses whose primary box is 0 now advertise via secondary.
+        for addr in 0..12 {
+            let expected = if m.primary_box(addr) == 0 {
+                Advert::Secondary
+            } else {
+                Advert::Primary
+            };
+            assert_eq!(c.site(TOKYO).advert(&m, addr), expected, "addr {addr}");
+        }
+    }
+
+    #[test]
+    fn all_nd_boxes_down_darkens_the_complex() {
+        let mut c = ClusterState::new();
+        let m = Msirp::nagano();
+        for nd in 0..4 {
+            c.apply(FailureKind::Dispatcher { site: 3, nd }, false);
+        }
+        assert!(!c.site(TOKYO).available());
+        assert_eq!(c.site(TOKYO).advert(&m, 0), Advert::None);
+        assert_eq!(c.availability(), [true, true, true, false]);
+    }
+
+    #[test]
+    fn complex_failure_and_restore() {
+        let mut c = ClusterState::new();
+        c.apply(FailureKind::Complex { site: 0 }, false);
+        assert!(!c.site(SiteId(0)).available());
+        assert_eq!(c.site(SiteId(0)).alive_node_count(), 0);
+        assert!(c.site(SiteId(0)).clone().pick_node().is_none());
+        c.apply(FailureKind::Complex { site: 0 }, true);
+        assert!(c.site(SiteId(0)).available());
+    }
+
+    #[test]
+    fn withdrawal_hides_one_address_only() {
+        let mut c = ClusterState::new();
+        let m = Msirp::nagano();
+        c.site_mut(TOKYO).set_withdrawn(5, true);
+        assert_eq!(c.site(TOKYO).advert(&m, 5), Advert::None);
+        assert_eq!(c.site(TOKYO).advert(&m, 6), Advert::Primary);
+        c.site_mut(TOKYO).set_withdrawn(5, false);
+        assert_eq!(c.site(TOKYO).advert(&m, 5), Advert::Primary);
+    }
+
+    #[test]
+    fn pick_node_round_robins_evenly() {
+        let mut s = SiteState::new(TOKYO);
+        let mut counts = vec![0u32; 24];
+        for _ in 0..2400 {
+            let (f, n) = s.pick_node().unwrap();
+            counts[f * 8 + n] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 100), "{counts:?}");
+    }
+
+    #[test]
+    fn dns_counter_cycles_twelve() {
+        let mut c = ClusterState::new();
+        let seen: Vec<usize> = (0..24).map(|_| c.next_dns_address()).collect();
+        for a in 0..12 {
+            assert_eq!(seen.iter().filter(|&&x| x == a).count(), 2);
+        }
+    }
+
+    #[test]
+    fn random_targets_are_well_formed() {
+        let c = ClusterState::new();
+        let mut rng = DeterministicRng::seed_from_u64(5);
+        for _ in 0..100 {
+            match c.random_failure_target(&mut rng) {
+                FailureKind::Node { site, frame, node } => {
+                    assert!(site < 4 && frame < SITES[site].frames && node < 8);
+                }
+                FailureKind::Frame { site, frame } => {
+                    assert!(site < 4 && frame < SITES[site].frames);
+                }
+                FailureKind::Dispatcher { site, nd } => assert!(site < 4 && nd < 4),
+                FailureKind::Complex { site } => assert!(site < 4),
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! The static topology: four complexes, thirteen SP2 frames, the MSIRP
+//! address table, and the region↔site OSPF cost matrix.
+//!
+//! Per §4.2 of the paper, **every complex advertises all twelve SIPR
+//! addresses**: at each complex four Network Dispatcher boxes sit between
+//! the routers and the web servers, each box being the *primary* source of
+//! three of the twelve addresses and *secondary* source of two others
+//! (secondary advertisements carry a higher OSPF cost). An incoming
+//! request carries one of the twelve addresses (round-robin DNS) and flows
+//! to the advertising complex with the lowest OSPF cost from the client —
+//! normally the geographically closest one. Withdrawing one address at one
+//! complex shifts 1/12 (8⅓%) of its traffic elsewhere.
+
+use nagano_workload::Region;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one serving complex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId(pub usize);
+
+/// Static description of a complex.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteSpec {
+    /// Complex name.
+    pub name: &'static str,
+    /// SP2 frames at the complex.
+    pub frames: usize,
+    /// Serving uniprocessors per frame (Figure 6: eight UPs serve, the
+    /// SMP runs the trigger monitor).
+    pub nodes_per_frame: usize,
+    /// Network Dispatcher boxes at the complex.
+    pub nd_boxes: usize,
+    /// Replication delay from the Nagano master, in seconds (Figure 5:
+    /// Tokyo and Schaumburg fed directly; Columbus and Bethesda chained
+    /// off Schaumburg).
+    pub replication_delay_secs: u64,
+}
+
+/// The four production complexes.
+pub const SITES: [SiteSpec; 4] = [
+    SiteSpec {
+        name: "Schaumburg",
+        frames: 4,
+        nodes_per_frame: 8,
+        nd_boxes: 4,
+        replication_delay_secs: 2,
+    },
+    SiteSpec {
+        name: "Columbus",
+        frames: 3,
+        nodes_per_frame: 8,
+        nd_boxes: 4,
+        replication_delay_secs: 5,
+    },
+    SiteSpec {
+        name: "Bethesda",
+        frames: 3,
+        nodes_per_frame: 8,
+        nd_boxes: 4,
+        replication_delay_secs: 5,
+    },
+    SiteSpec {
+        name: "Tokyo",
+        frames: 3,
+        nodes_per_frame: 8,
+        nd_boxes: 4,
+        replication_delay_secs: 2,
+    },
+];
+
+/// Schaumburg, Illinois.
+pub const SCHAUMBURG: SiteId = SiteId(0);
+/// Columbus, Ohio.
+pub const COLUMBUS: SiteId = SiteId(1);
+/// Bethesda, Maryland.
+pub const BETHESDA: SiteId = SiteId(2);
+/// Tokyo, Japan.
+pub const TOKYO: SiteId = SiteId(3);
+
+/// OSPF-style path cost from a client region to a complex. Lower is
+/// closer. Regions with several comparably-close complexes (cost within
+/// [`TIE_BAND`] of the minimum) spread across them by address — the US
+/// east coast saw similar costs to Columbus and Bethesda.
+pub fn region_cost(region: Region, site: SiteId) -> u32 {
+    // Rows: UsEast, UsWest, Japan, Europe, Oceania, RestOfWorld.
+    // Cols: Schaumburg, Columbus, Bethesda, Tokyo.
+    const COSTS: [[u32; 4]; 6] = [
+        [12, 8, 6, 40],  // US-East → Columbus/Bethesda
+        [6, 8, 14, 30],  // US-West → Schaumburg/Columbus
+        [35, 38, 40, 2], // Japan → Tokyo
+        [22, 24, 18, 36],// Europe → Bethesda (transatlantic lands east)
+        [34, 36, 38, 12],// Oceania → Tokyo
+        [24, 26, 24, 22],// Rest-of-world → Tokyo/Schaumburg/Bethesda
+    ];
+    let r = Region::ALL.iter().position(|&x| x == region).unwrap();
+    COSTS[r][site.0]
+}
+
+/// Cost band within which complexes count as equally close and share an
+/// address's traffic.
+pub const TIE_BAND: u32 = 3;
+
+/// Network propagation delay (one way, milliseconds) from a region to a
+/// site — the server-side component of response times.
+pub fn region_latency_ms(region: Region, site: SiteId) -> f64 {
+    region_cost(region, site) as f64 * 2.5
+}
+
+/// How one complex currently advertises one MSIRP address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advert {
+    /// Advertised by the address's primary ND box (normal cost).
+    Primary,
+    /// Advertised by the secondary ND box (cost penalty) — the primary
+    /// box is down.
+    Secondary,
+    /// Both designated boxes are down but another ND box at the complex
+    /// re-advertises the address at a steep cost — the last intra-complex
+    /// degradation tier before traffic leaves the complex entirely.
+    Fallback,
+    /// Not advertised (withdrawn, all boxes down, or complex dark).
+    None,
+}
+
+/// The MSIRP routing plane.
+#[derive(Debug, Clone, Default)]
+pub struct Msirp;
+
+/// The outcome of routing one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Served by this complex.
+    Site(SiteId),
+    /// No complex is available (total outage).
+    Unroutable,
+}
+
+impl Msirp {
+    /// The production routing plane.
+    pub fn nagano() -> Self {
+        Msirp
+    }
+
+    /// Number of SIPR addresses.
+    pub fn addresses(&self) -> usize {
+        12
+    }
+
+    /// The ND box that is primary for `addr` (same layout at every
+    /// complex: four boxes, three primary addresses each).
+    pub fn primary_box(&self, addr: usize) -> usize {
+        (addr % 12) % 4
+    }
+
+    /// The ND box that is secondary for `addr`.
+    pub fn secondary_box(&self, addr: usize) -> usize {
+        ((addr % 12) + 1) % 4
+    }
+
+    /// Route a request carrying MSIRP address `addr` from `region`, given
+    /// each complex's advertisement state for that address.
+    ///
+    /// The lowest-cost advertising complex wins; secondary advertisements
+    /// carry a large penalty (they only matter when every closer primary
+    /// is gone); addresses dark everywhere fall back to the nearest
+    /// complex that serves at all. Cost ties within [`TIE_BAND`] split by
+    /// address, which is what spreads round-robin DNS traffic across
+    /// equally-near complexes.
+    pub fn route(&self, region: Region, addr: usize, adverts: &[Advert; 4]) -> RouteDecision {
+        const SECONDARY_PENALTY: u32 = 1_000;
+        const FALLBACK_PENALTY: u32 = 10_000;
+        let addr = addr % 12;
+        let mut candidates: Vec<(u32, usize)> = Vec::with_capacity(4);
+        for site in 0..4 {
+            let cost = match adverts[site] {
+                Advert::Primary => region_cost(region, SiteId(site)),
+                Advert::Secondary => region_cost(region, SiteId(site)) + SECONDARY_PENALTY,
+                Advert::Fallback => region_cost(region, SiteId(site)) + FALLBACK_PENALTY,
+                Advert::None => continue,
+            };
+            candidates.push((cost, site));
+        }
+        if candidates.is_empty() {
+            // Address dark everywhere: any complex still advertising
+            // *anything* would take the traffic; the caller passes
+            // Advert::None for dead complexes, so model this as "nearest
+            // complex that could advertise at all" via a separate pass.
+            for site in 0..4 {
+                // A complex that is down for this address may be down in
+                // general; the caller encodes that with all-None adverts,
+                // so there is nothing to fall back to here.
+                let _ = site;
+            }
+            return RouteDecision::Unroutable;
+        }
+        candidates.sort_unstable();
+        let min_cost = candidates[0].0;
+        let band: Vec<usize> = candidates
+            .iter()
+            .take_while(|&&(c, _)| c <= min_cost.saturating_add(TIE_BAND) && c < FALLBACK_PENALTY)
+            .map(|&(_, s)| s)
+            .collect();
+        let chosen = if band.is_empty() {
+            candidates[0].1
+        } else {
+            band[addr % band.len()]
+        };
+        RouteDecision::Site(SiteId(chosen))
+    }
+}
+
+/// Total serving nodes in the production topology (13 frames × 8 UPs).
+pub fn total_serving_nodes() -> usize {
+    SITES.iter().map(|s| s.frames * s.nodes_per_frame).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_PRIMARY: [Advert; 4] = [Advert::Primary; 4];
+
+    #[test]
+    fn production_dimensions() {
+        assert_eq!(SITES.iter().map(|s| s.frames).sum::<usize>(), 13);
+        assert_eq!(total_serving_nodes(), 104); // 13 frames × 8 serving UPs
+        assert_eq!(SITES[SCHAUMBURG.0].frames, 4);
+        assert!(SITES.iter().all(|s| s.nd_boxes == 4));
+    }
+
+    #[test]
+    fn each_nd_box_is_primary_for_three_addresses() {
+        let m = Msirp::nagano();
+        for nd in 0..4 {
+            let n = (0..12).filter(|&a| m.primary_box(a) == nd).count();
+            assert_eq!(n, 3);
+        }
+        for a in 0..12 {
+            assert_ne!(m.primary_box(a), m.secondary_box(a));
+        }
+    }
+
+    #[test]
+    fn geographic_routing_picks_nearest_complex() {
+        let m = Msirp::nagano();
+        for addr in 0..12 {
+            assert_eq!(
+                m.route(Region::Japan, addr, &ALL_PRIMARY),
+                RouteDecision::Site(TOKYO)
+            );
+            assert_eq!(
+                m.route(Region::Europe, addr, &ALL_PRIMARY),
+                RouteDecision::Site(BETHESDA)
+            );
+            assert_eq!(
+                m.route(Region::Oceania, addr, &ALL_PRIMARY),
+                RouteDecision::Site(TOKYO)
+            );
+        }
+    }
+
+    #[test]
+    fn cost_ties_split_by_address() {
+        // US-East: Columbus (8) and Bethesda (6) are within the tie band,
+        // so the twelve addresses split between them.
+        let m = Msirp::nagano();
+        let mut per_site = [0u32; 4];
+        for addr in 0..12 {
+            if let RouteDecision::Site(s) = m.route(Region::UsEast, addr, &ALL_PRIMARY) {
+                per_site[s.0] += 1;
+            }
+        }
+        assert_eq!(per_site[SCHAUMBURG.0], 0);
+        assert_eq!(per_site[TOKYO.0], 0);
+        assert_eq!(per_site[COLUMBUS.0], 6);
+        assert_eq!(per_site[BETHESDA.0], 6);
+    }
+
+    #[test]
+    fn dead_complex_reroutes_to_next_nearest() {
+        let m = Msirp::nagano();
+        let adverts = [Advert::Primary, Advert::Primary, Advert::Primary, Advert::None];
+        let RouteDecision::Site(s) = m.route(Region::Japan, 0, &adverts) else {
+            panic!("must route");
+        };
+        assert_ne!(s, TOKYO);
+        // Japan's next-nearest is Schaumburg (cost 35).
+        assert_eq!(s, SCHAUMBURG);
+    }
+
+    #[test]
+    fn secondary_advert_only_wins_when_primaries_are_gone() {
+        let m = Msirp::nagano();
+        // Tokyo only has its secondary box for this address: a Japanese
+        // client still lands on Tokyo only if no primary complex is
+        // closer... with all other complexes primary, the huge secondary
+        // penalty sends the client across the ocean.
+        let adverts = [Advert::Primary, Advert::Primary, Advert::Primary, Advert::Secondary];
+        assert_eq!(
+            m.route(Region::Japan, 0, &adverts),
+            RouteDecision::Site(SCHAUMBURG)
+        );
+        // But when Tokyo's secondary is the only advertisement, it wins.
+        let only_tokyo = [Advert::None, Advert::None, Advert::None, Advert::Secondary];
+        assert_eq!(
+            m.route(Region::Japan, 0, &only_tokyo),
+            RouteDecision::Site(TOKYO)
+        );
+    }
+
+    #[test]
+    fn total_outage_is_unroutable() {
+        let m = Msirp::nagano();
+        assert_eq!(
+            m.route(Region::Japan, 0, &[Advert::None; 4]),
+            RouteDecision::Unroutable
+        );
+    }
+
+    #[test]
+    fn cost_matrix_matches_geography() {
+        assert!(region_cost(Region::Japan, TOKYO) < region_cost(Region::Japan, SCHAUMBURG));
+        assert!(region_cost(Region::UsEast, BETHESDA) < region_cost(Region::UsEast, TOKYO));
+        assert!(region_cost(Region::UsWest, SCHAUMBURG) < region_cost(Region::UsWest, BETHESDA));
+        assert!(region_cost(Region::Oceania, TOKYO) < region_cost(Region::Oceania, COLUMBUS));
+        assert!(region_latency_ms(Region::Japan, TOKYO) < 10.0);
+    }
+}

@@ -1,0 +1,425 @@
+//! The [`ServingSite`] facade: one SP2-complex worth of the production
+//! system — database, renderer, trigger monitor, and a fleet of serving
+//! caches — behind a small API.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use nagano_cache::{CacheConfig, CacheFleet, StatsSnapshot};
+use nagano_db::{seed_games, EventId, GamesConfig, OlympicDb};
+use nagano_httpd::{Handler, Request, Response, Server, ServerConfig};
+use nagano_odg::StalenessPolicy;
+use nagano_pagegen::{PageKey, PageRegistry, Renderer};
+use nagano_trigger::{
+    ConsistencyPolicy, TriggerMonitor, TriggerRunner, TriggerStatsSnapshot,
+};
+
+/// Configuration for a serving site.
+#[derive(Debug, Clone)]
+pub struct SiteConfig {
+    /// Synthetic Games dimensions.
+    pub games: GamesConfig,
+    /// Number of serving caches (the production SP2 had eight serving
+    /// UPs per frame).
+    pub fleet_size: usize,
+    /// Per-cache configuration.
+    pub cache: CacheConfig,
+    /// Consistency policy for the trigger monitor.
+    pub policy: ConsistencyPolicy,
+    /// DUP staleness policy.
+    pub staleness: StalenessPolicy,
+    /// When set, page generation burns real CPU at `cost × scale`
+    /// (throughput experiments).
+    pub cpu_scale: Option<f64>,
+    /// Warm every page and build the full ODG at construction (the
+    /// production prefetch). Disable to study cold-start behaviour.
+    pub prewarm: bool,
+}
+
+impl SiteConfig {
+    /// Paper-scale Games, eight serving caches, update-in-place.
+    pub fn full() -> Self {
+        SiteConfig {
+            games: GamesConfig::full(),
+            fleet_size: 8,
+            cache: CacheConfig::default(),
+            policy: ConsistencyPolicy::UpdateInPlace,
+            staleness: StalenessPolicy::Strict,
+            cpu_scale: None,
+            prewarm: true,
+        }
+    }
+
+    /// Small Games for tests and examples.
+    pub fn small() -> Self {
+        SiteConfig {
+            games: GamesConfig::small(),
+            fleet_size: 2,
+            ..Self::full()
+        }
+    }
+}
+
+/// A page served by the site.
+#[derive(Debug, Clone)]
+pub struct ServedPage {
+    /// The page body.
+    pub body: Bytes,
+    /// Whether it came from the cache (vs generated on demand).
+    pub cache_hit: bool,
+    /// Server-side cost in modelled CPU milliseconds.
+    pub cost_ms: f64,
+    /// Cache version of the entry (1 on first insert, bumped on every
+    /// in-place update); doubles as the HTTP entity tag.
+    pub version: u64,
+}
+
+impl ServedPage {
+    /// The entity tag for this representation.
+    pub fn etag(&self) -> String {
+        format!("\"v{}\"", self.version)
+    }
+}
+
+/// Result of one [`ServingSite::pump`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PumpOutcome {
+    /// Transactions processed.
+    pub txns: u64,
+    /// Pages regenerated in place.
+    pub regenerated: u64,
+    /// Pages invalidated.
+    pub invalidated: u64,
+}
+
+/// Point-in-time metrics for the site.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteMetrics {
+    /// Aggregated cache statistics over the fleet.
+    pub cache: StatsSnapshot,
+    /// Trigger-monitor statistics.
+    pub trigger: TriggerStatsSnapshot,
+    /// Object dependence graph size (nodes, edges).
+    pub odg: (usize, usize),
+    /// Number of pages in the registry.
+    pub pages: usize,
+}
+
+/// One serving complex: database + trigger monitor + cache fleet.
+pub struct ServingSite {
+    db: Arc<OlympicDb>,
+    registry: Arc<PageRegistry>,
+    monitor: Arc<TriggerMonitor>,
+    fleet: Arc<CacheFleet>,
+    txn_rx: crossbeam::channel::Receiver<Arc<nagano_db::Transaction>>,
+    marquee: (EventId, EventId),
+}
+
+impl ServingSite {
+    /// Seed the Games, build the registry, construct the trigger monitor,
+    /// and (by default) prewarm every page.
+    pub fn build(config: SiteConfig) -> Self {
+        let db = Arc::new(OlympicDb::new());
+        let marquee = seed_games(&db, &config.games);
+        let registry = Arc::new(PageRegistry::build(&db, config.games.days));
+        let fleet = Arc::new(CacheFleet::new(config.fleet_size, config.cache.clone()));
+        let mut renderer = Renderer::new(Arc::clone(&db));
+        if let Some(scale) = config.cpu_scale {
+            renderer = renderer.with_simulated_cpu(scale);
+        }
+        let monitor = Arc::new(TriggerMonitor::new(
+            renderer,
+            Arc::clone(&fleet),
+            Arc::clone(&registry),
+            config.policy,
+        ));
+        monitor.set_staleness_policy(config.staleness);
+        let txn_rx = db.subscribe();
+        if config.prewarm {
+            monitor.prewarm();
+        }
+        ServingSite {
+            db,
+            registry,
+            monitor,
+            fleet,
+            txn_rx,
+            marquee,
+        }
+    }
+
+    /// The site database (mutations here feed the trigger monitor).
+    pub fn db(&self) -> &Arc<OlympicDb> {
+        &self.db
+    }
+
+    /// The page registry.
+    pub fn registry(&self) -> &Arc<PageRegistry> {
+        &self.registry
+    }
+
+    /// The trigger monitor.
+    pub fn monitor(&self) -> &Arc<TriggerMonitor> {
+        &self.monitor
+    }
+
+    /// The serving cache fleet.
+    pub fn fleet(&self) -> &Arc<CacheFleet> {
+        &self.fleet
+    }
+
+    /// The marquee event ids `(figure_skating, ski_jumping)` pinned by the
+    /// seeder.
+    pub fn marquee_events(&self) -> (EventId, EventId) {
+        self.marquee
+    }
+
+    /// Serve one request path from serving node `node` — the FastCGI
+    /// server-program path: check the cache; on a miss, generate, cache
+    /// locally, and register dependencies. Returns `None` for paths that
+    /// are not part of the site.
+    pub fn handle(&self, node: usize, path: &str) -> Option<ServedPage> {
+        let key = PageKey::parse(path)?;
+        match self.fleet.get_from(node, &key.to_url()) {
+            Some(page) => Some(ServedPage {
+                body: page.body,
+                cache_hit: true,
+                cost_ms: 0.5,
+                version: page.version,
+            }),
+            None => {
+                let out = self.monitor.demand_fill(node, key);
+                let version = self
+                    .fleet
+                    .member(node)
+                    .peek(&key.to_url())
+                    .map(|p| p.version)
+                    .unwrap_or(1);
+                Some(ServedPage {
+                    body: out.body,
+                    cache_hit: false,
+                    cost_ms: out.cost_ms,
+                    version,
+                })
+            }
+        }
+    }
+
+    /// Synchronously process every transaction committed since the last
+    /// pump (tests and replay harnesses; live deployments use
+    /// [`ServingSite::spawn_trigger_runner`]).
+    pub fn pump(&self) -> PumpOutcome {
+        let mut outcome = PumpOutcome::default();
+        while let Ok(txn) = self.txn_rx.try_recv() {
+            let o = self.monitor.process_txn(&txn);
+            outcome.txns += 1;
+            outcome.regenerated += o.regenerated.len() as u64;
+            outcome.invalidated += o.invalidated.len() as u64;
+        }
+        outcome
+    }
+
+    /// Spawn the background trigger monitor thread over a fresh
+    /// subscription (live-deployment shape). Updates committed *after*
+    /// this call are processed automatically until the runner is dropped.
+    pub fn spawn_trigger_runner(&self) -> TriggerRunner {
+        TriggerRunner::spawn(Arc::clone(&self.monitor), self.db.subscribe())
+    }
+
+    /// An HTTP handler serving this site from node `node`, with
+    /// ETag/If-None-Match revalidation: the cache version is the entity
+    /// tag, so browser caches revalidate dynamic pages with a 55-byte 304
+    /// instead of a 55 KB transfer — until DUP bumps the version.
+    pub fn http_handler(self: &Arc<Self>, node: usize) -> Arc<dyn Handler> {
+        let site = Arc::clone(self);
+        Arc::new(move |req: &Request| match site.handle(node, &req.path) {
+            Some(page) => {
+                let etag = page.etag();
+                if req.if_none_match.as_deref() == Some(etag.as_str()) {
+                    Response::not_modified(etag)
+                } else {
+                    Response::html(page.body).with_etag(etag)
+                }
+            }
+            None => Response::not_found(),
+        })
+    }
+
+    /// Bind an HTTP server for serving node `node`.
+    pub fn serve_http(
+        self: &Arc<Self>,
+        addr: &str,
+        node: usize,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Server::bind(addr, self.http_handler(node), config)
+    }
+
+    /// Bring a recovered serving node back: resynchronise its cache from
+    /// a healthy peer so it rejoins rotation warm and version-consistent.
+    /// Returns the number of pages copied.
+    pub fn recover_node(&self, node: usize) -> usize {
+        let donor = (0..self.fleet.len())
+            .find(|&i| i != node)
+            .expect("fleet has another member");
+        self.fleet.resync(donor, node)
+    }
+
+    /// Current metrics.
+    pub fn metrics(&self) -> SiteMetrics {
+        SiteMetrics {
+            cache: self.fleet.aggregate_stats(),
+            trigger: self.monitor.stats().snapshot(),
+            odg: self.monitor.graph_size(),
+            pages: self.registry.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> ServingSite {
+        ServingSite::build(SiteConfig::small())
+    }
+
+    #[test]
+    fn build_prewarms_everything() {
+        let s = site();
+        let m = s.metrics();
+        assert_eq!(m.cache.inserts as usize, m.pages * 2); // 2 fleet members
+        assert!(m.odg.0 > 0 && m.odg.1 > 0);
+    }
+
+    #[test]
+    fn handle_serves_cache_hits() {
+        let s = site();
+        let page = s.handle(0, "/medals").unwrap();
+        assert!(page.cache_hit);
+        assert!(page.cost_ms < 1.0);
+        assert!(s.handle(1, "/day/3/").unwrap().cache_hit);
+        assert!(s.handle(0, "/nonexistent").is_none());
+    }
+
+    #[test]
+    fn cold_site_demand_fills() {
+        let mut cfg = SiteConfig::small();
+        cfg.prewarm = false;
+        let s = ServingSite::build(cfg);
+        let first = s.handle(0, "/medals").unwrap();
+        assert!(!first.cache_hit);
+        assert!(first.cost_ms > 10.0);
+        let second = s.handle(0, "/medals").unwrap();
+        assert!(second.cache_hit);
+        // Demand fill is node-local.
+        let other_node = s.handle(1, "/medals").unwrap();
+        assert!(!other_node.cache_hit);
+    }
+
+    #[test]
+    fn update_flow_refreshes_in_place() {
+        let s = site();
+        let ev = s.db().events()[0].clone();
+        let before = s.handle(0, &PageKey::Event(ev.id).to_url()).unwrap();
+        let athletes = s.db().athletes_of_sport(ev.sport);
+        s.db().record_results(
+            ev.id,
+            &[(athletes[0].id, 10.0), (athletes[1].id, 9.0), (athletes[2].id, 8.0)],
+            true,
+            ev.day,
+        );
+        let outcome = s.pump();
+        assert_eq!(outcome.txns, 1);
+        assert!(outcome.regenerated > 5);
+        assert_eq!(outcome.invalidated, 0);
+        let after = s.handle(0, &PageKey::Event(ev.id).to_url()).unwrap();
+        assert!(after.cache_hit, "updated in place, not invalidated");
+        assert_ne!(after.body, before.body);
+        // Pump with nothing queued is a no-op.
+        assert_eq!(s.pump(), PumpOutcome::default());
+    }
+
+    #[test]
+    fn http_end_to_end() {
+        use nagano_httpd::HttpClient;
+        let s = Arc::new(site());
+        let server = s
+            .serve_http("127.0.0.1:0", 0, ServerConfig::default())
+            .unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let (code, body) = client.get("/medals").unwrap();
+        assert_eq!(code, 200);
+        assert!(body.len() > 5_000);
+        let (code, _) = client.get("/bogus/path").unwrap();
+        assert_eq!(code, 404);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn conditional_get_revalidates_with_304_until_dup_updates() {
+        use nagano_httpd::HttpClient;
+        let s = Arc::new(site());
+        let server = s
+            .serve_http("127.0.0.1:0", 0, ServerConfig::default())
+            .unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        // First fetch: 200 with an ETag.
+        let (code, body, etag) = client.get_conditional("/medals", None).unwrap();
+        assert_eq!(code, 200);
+        let etag = etag.expect("etag present");
+        assert!(!body.is_empty());
+        // Revalidation: 304, empty body — the browser-cache path that
+        // saved a 55 KB modem transfer in 1998.
+        let (code, body, _) = client.get_conditional("/medals", Some(&etag)).unwrap();
+        assert_eq!(code, 304);
+        assert!(body.is_empty());
+        // An update bumps the cache version → revalidation now misses.
+        let ev = s.db().events()[0].clone();
+        let a = s.db().athletes_of_sport(ev.sport)[0].clone();
+        s.db().record_results(ev.id, &[(a.id, 9.0)], true, ev.day);
+        s.pump();
+        let (code, body, new_etag) = client.get_conditional("/medals", Some(&etag)).unwrap();
+        assert_eq!(code, 200);
+        assert!(!body.is_empty());
+        assert_ne!(new_etag, Some(etag));
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn marquee_events_exposed() {
+        let s = site();
+        let (fs, sj) = s.marquee_events();
+        assert!(s.db().event(fs).is_some());
+        assert!(s.db().event(sj).is_some());
+    }
+
+    #[test]
+    fn recovered_node_rejoins_warm_and_consistent() {
+        let s = site();
+        // Node 1 "fails": loses its cache.
+        s.fleet().member(1).clear();
+        assert!(!s.handle(1, "/medals").unwrap().cache_hit, "cold after failure");
+        // Recovery resyncs from node 0.
+        let copied = s.recover_node(1);
+        assert_eq!(copied, s.registry().len());
+        let a = s.handle(0, "/day/3/").unwrap();
+        let b = s.handle(1, "/day/3/").unwrap();
+        assert!(b.cache_hit);
+        assert_eq!(a.body, b.body);
+        assert_eq!(a.version, b.version, "entity tags agree after resync");
+    }
+
+    #[test]
+    fn metrics_track_activity() {
+        let s = site();
+        s.handle(0, "/medals");
+        s.handle(0, "/medals");
+        let m = s.metrics();
+        assert_eq!(m.cache.hits, 2);
+        assert_eq!(m.trigger.txns, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! In-memory Olympic results database — the substrate standing in for the
+//! paper's DB2 deployment (venue databases → master database → replicated
+//! site databases, Figures 4–5).
+//!
+//! DUP does not care which database engine sits underneath; it needs
+//! exactly three things, all provided here:
+//!
+//! 1. **Typed tables** of domain rows (sports, events, athletes, countries,
+//!    results, medal tallies, news, photos) — [`schema`], [`table`].
+//! 2. **A transaction log**: every committed mutation appends a
+//!    [`txn::Transaction`] carrying the canonical *data keys* of the
+//!    changed records (the identities that become underlying-data vertices
+//!    in the ODG), and subscribers (the trigger monitor, replication links)
+//!    are notified — [`txn`], [`database`].
+//! 3. **Log-shipping replication** between sites — [`replication`].
+//!
+//! [`seed`] generates a deterministic synthetic Winter Games: the event
+//! schedule drives the update workload of every experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod replication;
+pub mod schema;
+pub mod seed;
+pub mod table;
+pub mod txn;
+
+pub use database::OlympicDb;
+pub use replication::Replica;
+pub use schema::{
+    Athlete, AthleteId, Country, CountryId, Event, EventId, EventPhase, MedalCount, NewsArticle,
+    NewsId, Photo, PhotoId, ResultId, ResultRow, Sport, SportId,
+};
+pub use seed::{seed_games, GamesConfig};
+pub use txn::{ChangeOp, RecordChange, Transaction, TxnId};

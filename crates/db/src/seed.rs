@@ -1,0 +1,289 @@
+//! Deterministic synthetic Winter Games.
+//!
+//! The real site drew from the Nagano scoring system; we generate an
+//! equivalent dataset: ~14 disciplines, ~68 medal events over 16 days,
+//! 72 countries, ~2,300 athletes. Event *popularity* encodes the audience
+//! interest that shaped the paper's traffic (the Women's Figure Skating
+//! free skate on Day 14 produced the 110,414 hits/minute record; the Men's
+//! Ski Jumping finals on Day 10 produced the 98,000 requests/minute
+//! moment).
+
+use nagano_simcore::DeterministicRng;
+
+use crate::database::OlympicDb;
+use crate::schema::{
+    Athlete, AthleteId, Country, CountryId, Event, EventId, EventPhase, Sport, SportId,
+};
+
+/// Dataset size knobs.
+#[derive(Debug, Clone)]
+pub struct GamesConfig {
+    /// Number of Games days.
+    pub days: u32,
+    /// Participating countries.
+    pub countries: u32,
+    /// Total athletes.
+    pub athletes: u32,
+    /// Total medal events (split across the built-in disciplines).
+    pub events: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GamesConfig {
+    /// Paper-scale Games (Nagano 1998 dimensions).
+    pub fn full() -> Self {
+        GamesConfig {
+            days: 16,
+            countries: 72,
+            athletes: 2_300,
+            events: 68,
+            seed: 0x1998_0207,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn small() -> Self {
+        GamesConfig {
+            days: 16,
+            countries: 8,
+            athletes: 60,
+            events: 12,
+            seed: 7,
+        }
+    }
+}
+
+const DISCIPLINES: &[(&str, &str)] = &[
+    ("Alpine Skiing", "Happo'one"),
+    ("Biathlon", "Nozawa Onsen"),
+    ("Bobsleigh", "Spiral"),
+    ("Cross-Country Skiing", "Snow Harp"),
+    ("Curling", "Kazakoshi Park Arena"),
+    ("Figure Skating", "White Ring"),
+    ("Freestyle Skiing", "Iizuna Kogen"),
+    ("Ice Hockey", "Big Hat"),
+    ("Luge", "Spiral"),
+    ("Nordic Combined", "Hakuba Jumping Stadium"),
+    ("Short Track", "White Ring"),
+    ("Ski Jumping", "Hakuba Jumping Stadium"),
+    ("Snowboard", "Kanbayashi Snowboard Park"),
+    ("Speed Skating", "M-Wave"),
+];
+
+const COUNTRY_CODES: &[(&str, &str)] = &[
+    ("JPN", "Japan"),
+    ("USA", "United States"),
+    ("GER", "Germany"),
+    ("NOR", "Norway"),
+    ("RUS", "Russia"),
+    ("CAN", "Canada"),
+    ("AUT", "Austria"),
+    ("ITA", "Italy"),
+    ("FIN", "Finland"),
+    ("SUI", "Switzerland"),
+    ("NED", "Netherlands"),
+    ("FRA", "France"),
+    ("KOR", "South Korea"),
+    ("CHN", "China"),
+    ("SWE", "Sweden"),
+    ("CZE", "Czech Republic"),
+    ("GBR", "Great Britain"),
+    ("AUS", "Australia"),
+    ("BLR", "Belarus"),
+    ("KAZ", "Kazakhstan"),
+    ("UKR", "Ukraine"),
+    ("DEN", "Denmark"),
+    ("BUL", "Bulgaria"),
+    ("EST", "Estonia"),
+];
+
+const GIVEN: &[&str] = &[
+    "Tara", "Hermann", "Kazuyoshi", "Bjørn", "Larisa", "Masahiko", "Katja", "Ross", "Gianni",
+    "Marit", "Pavel", "Annika", "Jean-Luc", "Hyun-Soo", "Mika", "Olga", "Stefan", "Yuki",
+    "Ingrid", "Tomas",
+];
+const FAMILY: &[&str] = &[
+    "Lipinski", "Maier", "Funaki", "Dæhlie", "Lazutina", "Harada", "Seizinger", "Rebagliati",
+    "Romme", "Bjørgen", "Novak", "Svensson", "Brassard", "Kim", "Myllylä", "Danilova",
+    "Eberharter", "Sato", "Olsen", "Dvorak",
+];
+
+/// Populate `db` with a synthetic Games and return the ids of the marquee
+/// events `(figure_skating_day14, ski_jumping_day10)` used by the peak
+/// experiments.
+pub fn seed_games(db: &OlympicDb, config: &GamesConfig) -> (EventId, EventId) {
+    let mut rng = DeterministicRng::seed_from_u64(config.seed);
+
+    // Countries: real codes first, synthetic fills after.
+    for i in 0..config.countries {
+        let (code, name) = if (i as usize) < COUNTRY_CODES.len() {
+            let (c, n) = COUNTRY_CODES[i as usize];
+            (c.to_string(), n.to_string())
+        } else {
+            (format!("X{:02}", i), format!("Nation {i}"))
+        };
+        db.load_country(Country {
+            id: CountryId(i + 1),
+            code,
+            name,
+        });
+    }
+
+    // Disciplines.
+    let n_sports = DISCIPLINES.len().min(config.events as usize).max(1);
+    for (i, (name, venue)) in DISCIPLINES.iter().take(n_sports).enumerate() {
+        db.load_sport(Sport {
+            id: SportId(i as u32 + 1),
+            name: name.to_string(),
+            venue: venue.to_string(),
+        });
+    }
+
+    // Events, round-robin across disciplines, concluding days 2..=days-1.
+    let mut figure_skating_marquee = EventId(1);
+    let mut ski_jumping_marquee = EventId(1);
+    for i in 0..config.events {
+        let id = EventId(i + 1);
+        let sport_idx = (i as usize) % n_sports;
+        let sport = SportId(sport_idx as u32 + 1);
+        // Finals cluster in the middle and late Games (the real schedule
+        // back-loaded medal events), which is what produces the paper's
+        // ~3x peak-to-average regeneration ratio.
+        let span = config.days.saturating_sub(2).max(1) as f64;
+        let frac = (i as f64 + 0.5) / config.events.max(1) as f64;
+        // Triangular ramp: density grows linearly toward ~70% of the Games.
+        let day = 2 + (frac.sqrt() * 0.72 * span
+            + rng.f64() * 0.28 * span) as u32;
+        let day = day.min(config.days);
+        let hour = 9 + rng.index(11) as u32; // 9:00 .. 19:00 local
+        // Popularity: log-normal-ish base, boosted for marquee disciplines.
+        let mut popularity = (1.0 + rng.f64() * 3.0).powi(2) / 4.0;
+        let sport_name = DISCIPLINES[sport_idx].0;
+        let round = i / n_sports as u32 + 1;
+        let mut day = day;
+        let mut hour = hour;
+        let name = format!("{sport_name} Event {round}");
+        if sport_name == "Figure Skating" && figure_skating_marquee == EventId(1) && round >= 1 {
+            // The Women's free skate: pinned to day 14, evening session
+            // (as in 1998), huge draw.
+            day = 14.min(config.days);
+            hour = 19;
+            popularity = 25.0;
+            figure_skating_marquee = id;
+        } else if sport_name == "Ski Jumping" && ski_jumping_marquee == EventId(1) {
+            // The Men's team final: day 10, late morning.
+            day = 10.min(config.days);
+            hour = 11;
+            popularity = 15.0;
+            ski_jumping_marquee = id;
+        }
+        db.load_event(Event {
+            id,
+            sport,
+            name,
+            day,
+            hour,
+            popularity,
+            phase: EventPhase::Scheduled,
+        });
+    }
+
+    // Athletes, spread across countries (popular countries get more) and
+    // disciplines.
+    let country_weights: Vec<f64> = (0..config.countries)
+        .map(|i| 1.0 / (i as f64 + 1.0).sqrt())
+        .collect();
+    for i in 0..config.athletes {
+        let country = CountryId(rng.weighted_index(&country_weights) as u32 + 1);
+        let sport = SportId(rng.index(n_sports) as u32 + 1);
+        let name = format!(
+            "{} {}",
+            GIVEN[rng.index(GIVEN.len())],
+            FAMILY[rng.index(FAMILY.len())]
+        );
+        db.load_athlete(Athlete {
+            id: AthleteId(i + 1),
+            name,
+            country,
+            sport,
+        });
+    }
+
+    (figure_skating_marquee, ski_jumping_marquee)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_seed_has_paper_dimensions() {
+        let db = OlympicDb::new();
+        let cfg = GamesConfig::full();
+        seed_games(&db, &cfg);
+        let (sports, events, athletes, countries, results, news, photos) = db.counts();
+        assert_eq!(sports, 14);
+        assert_eq!(events, 68);
+        assert_eq!(athletes, 2_300);
+        assert_eq!(countries, 72);
+        assert_eq!((results, news, photos), (0, 0, 0));
+        assert!(db.log().is_empty(), "seeding must not be logged");
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a = OlympicDb::new();
+        let b = OlympicDb::new();
+        seed_games(&a, &GamesConfig::small());
+        seed_games(&b, &GamesConfig::small());
+        assert_eq!(a.athletes(), b.athletes());
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.countries(), b.countries());
+    }
+
+    #[test]
+    fn marquee_events_are_pinned() {
+        let db = OlympicDb::new();
+        let (fs, sj) = seed_games(&db, &GamesConfig::full());
+        let fs_event = db.event(fs).unwrap();
+        assert_eq!(fs_event.day, 14);
+        assert!(fs_event.popularity >= 20.0);
+        assert!(fs_event.name.contains("Figure Skating"));
+        let sj_event = db.event(sj).unwrap();
+        assert_eq!(sj_event.day, 10);
+        assert!(sj_event.name.contains("Ski Jumping"));
+    }
+
+    #[test]
+    fn every_event_day_in_range() {
+        let db = OlympicDb::new();
+        let cfg = GamesConfig::full();
+        seed_games(&db, &cfg);
+        for e in db.events() {
+            assert!((1..=cfg.days).contains(&e.day), "event day {}", e.day);
+            assert!((9..20).contains(&e.hour));
+            assert!(e.popularity > 0.0);
+        }
+    }
+
+    #[test]
+    fn athletes_reference_valid_entities() {
+        let db = OlympicDb::new();
+        seed_games(&db, &GamesConfig::small());
+        for a in db.athletes() {
+            assert!(db.country(a.country).is_some());
+            assert!(db.sport(a.sport).is_some());
+        }
+    }
+
+    #[test]
+    fn small_config_is_small() {
+        let db = OlympicDb::new();
+        seed_games(&db, &GamesConfig::small());
+        let (_, events, athletes, countries, ..) = db.counts();
+        assert_eq!(events, 12);
+        assert_eq!(athletes, 60);
+        assert_eq!(countries, 8);
+    }
+}

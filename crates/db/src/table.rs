@@ -1,0 +1,131 @@
+//! A minimal typed table: a keyed row store with insert/update/scan and a
+//! change journal hook.
+//!
+//! Deliberately simple — the paper's system needs record-level change
+//! identification, not SQL. Rows are stored in a `BTreeMap` so scans are
+//! deterministic (id order), which keeps rendered pages and experiment
+//! output byte-stable.
+
+use std::collections::BTreeMap;
+
+/// A typed table of rows keyed by `K`.
+#[derive(Debug, Clone)]
+pub struct Table<K: Ord + Copy, R> {
+    rows: BTreeMap<K, R>,
+}
+
+impl<K: Ord + Copy, R> Default for Table<K, R> {
+    fn default() -> Self {
+        Table {
+            rows: BTreeMap::new(),
+        }
+    }
+}
+
+impl<K: Ord + Copy, R> Table<K, R> {
+    /// New empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert or replace the row at `key`; returns the previous row.
+    pub fn upsert(&mut self, key: K, row: R) -> Option<R> {
+        self.rows.insert(key, row)
+    }
+
+    /// Fetch by key.
+    pub fn get(&self, key: K) -> Option<&R> {
+        self.rows.get(&key)
+    }
+
+    /// Mutable fetch by key.
+    pub fn get_mut(&mut self, key: K) -> Option<&mut R> {
+        self.rows.get_mut(&key)
+    }
+
+    /// Remove by key.
+    pub fn remove(&mut self, key: K) -> Option<R> {
+        self.rows.remove(&key)
+    }
+
+    /// Whether `key` exists.
+    pub fn contains(&self, key: K) -> bool {
+        self.rows.contains_key(&key)
+    }
+
+    /// Iterate rows in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &R)> {
+        self.rows.iter().map(|(k, r)| (*k, r))
+    }
+
+    /// Rows matching a predicate, in key order.
+    pub fn select<'a, P>(&'a self, pred: P) -> impl Iterator<Item = &'a R>
+    where
+        P: Fn(&R) -> bool + 'a,
+    {
+        self.rows.values().filter(move |r| pred(r))
+    }
+
+    /// All keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.rows.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_get_remove() {
+        let mut t: Table<u32, &str> = Table::new();
+        assert!(t.is_empty());
+        assert_eq!(t.upsert(1, "a"), None);
+        assert_eq!(t.upsert(1, "b"), Some("a"));
+        assert_eq!(t.get(1), Some(&"b"));
+        assert!(t.contains(1));
+        assert_eq!(t.remove(1), Some("b"));
+        assert!(t.get(1).is_none());
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut t: Table<u32, u32> = Table::new();
+        for k in [5, 1, 3] {
+            t.upsert(k, k * 10);
+        }
+        let keys: Vec<u32> = t.keys().collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+        let vals: Vec<u32> = t.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals, vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn select_filters() {
+        let mut t: Table<u32, u32> = Table::new();
+        for k in 0..10 {
+            t.upsert(k, k);
+        }
+        let evens: Vec<u32> = t.select(|r| r % 2 == 0).copied().collect();
+        assert_eq!(evens, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t: Table<u32, String> = Table::new();
+        t.upsert(1, "x".to_string());
+        t.get_mut(1).unwrap().push('y');
+        assert_eq!(t.get(1).unwrap(), "xy");
+        assert!(t.get_mut(9).is_none());
+    }
+}

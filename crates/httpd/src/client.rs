@@ -1,0 +1,262 @@
+//! Keep-alive HTTP client and a closed-loop load generator.
+//!
+//! The load generator drives the `throughput` experiment: N client threads
+//! each holding a persistent connection, issuing GETs back-to-back for a
+//! fixed duration — the standard closed-loop capacity measurement.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use crate::http::{read_response, read_response_full, ParseError};
+
+/// A blocking keep-alive HTTP client.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    addr: SocketAddr,
+}
+
+impl HttpClient {
+    /// Connect to a server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let read_half = stream.try_clone()?;
+        Ok(HttpClient {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            addr,
+        })
+    }
+
+    /// The server address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Issue a GET; returns (status, body). Reconnects transparently if
+    /// the server closed the idle connection.
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, Bytes)> {
+        match self.request("GET", path) {
+            Ok(r) => Ok(r),
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                *self = HttpClient::connect(self.addr)?;
+                self.request("GET", path)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Issue a request with an arbitrary method.
+    pub fn request(&mut self, method: &str, path: &str) -> std::io::Result<(u16, Bytes)> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: nagano\r\nConnection: keep-alive\r\n\r\n"
+        )?;
+        self.writer.flush()?;
+        match read_response(&mut self.reader) {
+            Ok(r) => Ok(r),
+            Err(ParseError::Io(e)) => Err(e),
+            Err(ParseError::ConnectionClosed) => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            )),
+            Err(ParseError::Malformed(m)) => {
+                Err(std::io::Error::new(std::io::ErrorKind::InvalidData, m))
+            }
+        }
+    }
+
+    /// Conditional GET: sends `If-None-Match` when a validator is known.
+    /// Returns `(status, body, etag)` — status 304 with an empty body when
+    /// the cached representation is still fresh.
+    pub fn get_conditional(
+        &mut self,
+        path: &str,
+        etag: Option<&str>,
+    ) -> std::io::Result<(u16, Bytes, Option<String>)> {
+        match etag {
+            Some(tag) => write!(
+                self.writer,
+                "GET {path} HTTP/1.1\r\nHost: nagano\r\nConnection: keep-alive\r\nIf-None-Match: {tag}\r\n\r\n"
+            )?,
+            None => write!(
+                self.writer,
+                "GET {path} HTTP/1.1\r\nHost: nagano\r\nConnection: keep-alive\r\n\r\n"
+            )?,
+        }
+        self.writer.flush()?;
+        match read_response_full(&mut self.reader) {
+            Ok(r) => Ok(r),
+            Err(ParseError::Io(e)) => Err(e),
+            Err(ParseError::ConnectionClosed) => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            )),
+            Err(ParseError::Malformed(m)) => {
+                Err(std::io::Error::new(std::io::ErrorKind::InvalidData, m))
+            }
+        }
+    }
+}
+
+/// Aggregate results of a load run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadReport {
+    /// Total successful requests.
+    pub requests: u64,
+    /// Total error responses / failures.
+    pub errors: u64,
+    /// Total body bytes received.
+    pub bytes: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub elapsed_secs: f64,
+    /// Mean per-request latency in milliseconds.
+    pub mean_latency_ms: f64,
+}
+
+impl LoadReport {
+    /// Requests per second.
+    pub fn rps(&self) -> f64 {
+        if self.elapsed_secs == 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / self.elapsed_secs
+        }
+    }
+}
+
+/// Closed-loop load generator.
+pub struct LoadRunner {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Paths cycled through by each client.
+    pub paths: Vec<String>,
+}
+
+impl LoadRunner {
+    /// New runner with `clients` connections over `paths`.
+    pub fn new(clients: usize, paths: Vec<String>) -> Self {
+        assert!(clients > 0 && !paths.is_empty());
+        LoadRunner { clients, paths }
+    }
+
+    /// Drive the server at `addr` for `duration`; returns the aggregate
+    /// report.
+    pub fn run(&self, addr: SocketAddr, duration: Duration) -> LoadReport {
+        let stop = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+        let mut handles = Vec::with_capacity(self.clients);
+        for c in 0..self.clients {
+            let stop = Arc::clone(&stop);
+            let paths = self.paths.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut requests = 0u64;
+                let mut errors = 0u64;
+                let mut bytes = 0u64;
+                let mut latency_total = Duration::ZERO;
+                let Ok(mut client) = HttpClient::connect(addr) else {
+                    return (0, 1, 0, Duration::ZERO);
+                };
+                let mut i = c; // stagger path phase across clients
+                while !stop.load(Relaxed) {
+                    let path = &paths[i % paths.len()];
+                    i += 1;
+                    let t0 = Instant::now();
+                    match client.get(path) {
+                        Ok((200, body)) => {
+                            requests += 1;
+                            bytes += body.len() as u64;
+                            latency_total += t0.elapsed();
+                        }
+                        Ok(_) => errors += 1,
+                        Err(_) => {
+                            errors += 1;
+                            match HttpClient::connect(addr) {
+                                Ok(cl) => client = cl,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                }
+                (requests, errors, bytes, latency_total)
+            }));
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Relaxed);
+        let mut requests = 0;
+        let mut errors = 0;
+        let mut bytes = 0;
+        let mut latency_total = Duration::ZERO;
+        for h in handles {
+            let (r, e, b, l) = h.join().unwrap_or((0, 1, 0, Duration::ZERO));
+            requests += r;
+            errors += e;
+            bytes += b;
+            latency_total += l;
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        LoadReport {
+            requests,
+            errors,
+            bytes,
+            elapsed_secs: elapsed,
+            mean_latency_ms: if requests == 0 {
+                0.0
+            } else {
+                latency_total.as_secs_f64() * 1_000.0 / requests as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{Request, Response};
+    use crate::server::{Handler, Server, ServerConfig};
+
+    fn tiny_server() -> Server {
+        let handler: Arc<dyn Handler> = Arc::new(|_req: &Request| {
+            Response::html(Bytes::from_static(b"<html>ok</html>"))
+        });
+        Server::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn load_runner_measures_throughput() {
+        let server = tiny_server();
+        let runner = LoadRunner::new(4, vec!["/a".into(), "/b".into()]);
+        let report = runner.run(server.addr(), Duration::from_millis(300));
+        assert!(report.requests > 100, "requests {}", report.requests);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.bytes, report.requests * 15);
+        assert!(report.rps() > 300.0, "rps {}", report.rps());
+        assert!(report.mean_latency_ms > 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_paths() {
+        let _ = LoadRunner::new(1, vec![]);
+    }
+
+    #[test]
+    fn report_rps_handles_zero() {
+        let r = LoadReport {
+            requests: 0,
+            errors: 0,
+            bytes: 0,
+            elapsed_secs: 0.0,
+            mean_latency_ms: 0.0,
+        };
+        assert_eq!(r.rps(), 0.0);
+    }
+}

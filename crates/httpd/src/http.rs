@@ -1,0 +1,365 @@
+//! HTTP/1.x message parsing and serialisation — the minimal subset the
+//! site needs: GET/HEAD requests, status + Content-Length responses,
+//! keep-alive negotiation.
+
+use std::io::{self, BufRead, Write};
+
+use bytes::Bytes;
+
+/// Response status codes used by the site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// 200.
+    Ok,
+    /// 304 — validator matched; no body.
+    NotModified,
+    /// 400.
+    BadRequest,
+    /// 404.
+    NotFound,
+    /// 405.
+    MethodNotAllowed,
+    /// 500.
+    InternalError,
+    /// 503 — used during failover drills.
+    ServiceUnavailable,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::NotModified => 304,
+            Status::BadRequest => 400,
+            Status::NotFound => 404,
+            Status::MethodNotAllowed => 405,
+            Status::InternalError => 500,
+            Status::ServiceUnavailable => 503,
+        }
+    }
+
+    /// Reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::NotModified => "Not Modified",
+            Status::BadRequest => "Bad Request",
+            Status::NotFound => "Not Found",
+            Status::MethodNotAllowed => "Method Not Allowed",
+            Status::InternalError => "Internal Server Error",
+            Status::ServiceUnavailable => "Service Unavailable",
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (uppercased).
+    pub method: String,
+    /// Request path (no scheme/host).
+    pub path: String,
+    /// HTTP minor version (0 or 1).
+    pub minor_version: u8,
+    /// Whether the connection should be kept alive after this exchange.
+    pub keep_alive: bool,
+    /// `If-None-Match` validator, if the client sent one.
+    pub if_none_match: Option<String>,
+}
+
+/// Errors from request parsing.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Peer closed before a full request arrived.
+    ConnectionClosed,
+    /// Malformed request line or headers.
+    Malformed(&'static str),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Read one request from a buffered stream.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(ParseError::ConnectionClosed);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing method"))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing path"))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.0");
+    let minor_version = match version {
+        "HTTP/1.1" => 1,
+        "HTTP/1.0" => 0,
+        _ => return Err(ParseError::Malformed("unsupported version")),
+    };
+    // Headers: we act on Connection and If-None-Match.
+    let mut keep_alive = minor_version == 1;
+    let mut if_none_match = None;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(ParseError::ConnectionClosed);
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("connection") {
+                let v = value.trim();
+                if v.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if v.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            } else if name.eq_ignore_ascii_case("if-none-match") {
+                if_none_match = Some(value.trim().to_string());
+            }
+        } else {
+            return Err(ParseError::Malformed("bad header"));
+        }
+    }
+    Ok(Request {
+        method,
+        path,
+        minor_version,
+        keep_alive,
+        if_none_match,
+    })
+}
+
+/// A response ready to serialise.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status line code.
+    pub status: Status,
+    /// Content-Type header value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Bytes,
+    /// Entity tag, if the resource has a validator (cached pages use
+    /// their cache version).
+    pub etag: Option<String>,
+}
+
+impl Response {
+    /// 200 text/html response.
+    pub fn html(body: Bytes) -> Self {
+        Response {
+            status: Status::Ok,
+            content_type: "text/html; charset=utf-8",
+            body,
+            etag: None,
+        }
+    }
+
+    /// Attach an entity tag.
+    pub fn with_etag(mut self, etag: impl Into<String>) -> Self {
+        self.etag = Some(etag.into());
+        self
+    }
+
+    /// 304 response reusing the validator.
+    pub fn not_modified(etag: impl Into<String>) -> Self {
+        Response {
+            status: Status::NotModified,
+            content_type: "text/html; charset=utf-8",
+            body: Bytes::new(),
+            etag: Some(etag.into()),
+        }
+    }
+
+    /// Plain-text response with the given status.
+    pub fn text(status: Status, body: &str) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: Bytes::copy_from_slice(body.as_bytes()),
+            etag: None,
+        }
+    }
+
+    /// 404 page.
+    pub fn not_found() -> Self {
+        Response::text(Status::NotFound, "not found\n")
+    }
+
+    /// Serialise to `w`, honouring keep-alive.
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\nServer: nagano/0.1\r\n",
+            self.status.code(),
+            self.status.reason(),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )?;
+        if let Some(etag) = &self.etag {
+            write!(w, "ETag: {etag}\r\n")?;
+        }
+        write!(w, "\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Read one response from a buffered stream: returns (status code, body).
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<(u16, Bytes), ParseError> {
+    let (code, body, _) = read_response_full(reader)?;
+    Ok((code, body))
+}
+
+/// Read one response: returns (status code, body, etag).
+pub fn read_response_full<R: BufRead>(
+    reader: &mut R,
+) -> Result<(u16, Bytes, Option<String>), ParseError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(ParseError::ConnectionClosed);
+    }
+    let code: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or(ParseError::Malformed("bad status line"))?;
+    let mut content_length = 0usize;
+    let mut etag = None;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(ParseError::ConnectionClosed);
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError::Malformed("bad content-length"))?;
+            } else if name.eq_ignore_ascii_case("etag") {
+                etag = Some(value.trim().to_string());
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((code, Bytes::from(body), etag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(s: &str) -> Result<Request, ParseError> {
+        read_request(&mut BufReader::new(s.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_request() {
+        let r = parse("GET /medals HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/medals");
+        assert_eq!(r.minor_version, 1);
+        assert!(r.keep_alive, "1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_close_overrides() {
+        let r = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive);
+        let r = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.keep_alive, "1.0 defaults to close");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(parse("\r\n"), Err(ParseError::Malformed(_))));
+        assert!(matches!(
+            parse("GET / HTTP/9.9\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(parse(""), Err(ParseError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::html(Bytes::from_static(b"<html>hi</html>"));
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf, true).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 15\r\n"));
+        assert!(text.contains("Connection: keep-alive"));
+        let (code, body) = read_response(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(&body[..], b"<html>hi</html>");
+    }
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::NotFound.code(), 404);
+        assert_eq!(Status::ServiceUnavailable.code(), 503);
+        assert_eq!(Status::BadRequest.reason(), "Bad Request");
+    }
+
+    #[test]
+    fn lowercase_method_uppercased() {
+        let r = parse("get /x HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+    }
+
+    #[test]
+    fn if_none_match_parsed() {
+        let r = parse("GET /m HTTP/1.1\r\nIf-None-Match: \"v3\"\r\n\r\n").unwrap();
+        assert_eq!(r.if_none_match.as_deref(), Some("\"v3\""));
+        let r = parse("GET /m HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.if_none_match, None);
+    }
+
+    #[test]
+    fn etag_roundtrip_and_304() {
+        let resp = Response::html(Bytes::from_static(b"body")).with_etag("\"v7\"");
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf, true).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("ETag: \"v7\"\r\n"));
+        let (code, body, etag) = read_response_full(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(&body[..], b"body");
+        assert_eq!(etag.as_deref(), Some("\"v7\""));
+
+        let nm = Response::not_modified("\"v7\"");
+        let mut buf = Vec::new();
+        nm.write_to(&mut buf, true).unwrap();
+        let (code, body, etag) = read_response_full(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(code, 304);
+        assert!(body.is_empty());
+        assert_eq!(etag.as_deref(), Some("\"v7\""));
+    }
+}

@@ -1,0 +1,30 @@
+//! A minimal threaded HTTP/1.1 server and load-generation client.
+//!
+//! The paper's serving nodes ran a conventional httpd with server programs
+//! attached through FastCGI (§2: CGI "incurs too much overhead. Instead,
+//! an interface such as FastCGI … should be used"). The performance-
+//! relevant property is that the handler runs *in-process* with the cache,
+//! so a cache hit costs a hash lookup and a socket write. This crate
+//! provides exactly that shape:
+//!
+//! * [`http`] — request parsing and response serialisation (HTTP/1.0 and
+//!   1.1, keep-alive, Content-Length framing).
+//! * [`server`] — a blocking accept loop feeding a fixed worker pool over
+//!   a crossbeam channel; handlers implement [`Handler`].
+//! * [`client`] — a keep-alive client and a closed-loop load generator
+//!   used by the `throughput` experiment (real sockets, real bytes).
+//! * [`log`] — NCSA Common Log Format access logging and the log
+//!   aggregations that drove the paper's 1998 redesign (§3.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod log;
+pub mod server;
+
+pub use client::{HttpClient, LoadReport, LoadRunner};
+pub use http::{Request, Response, Status};
+pub use log::{AccessLog, LogAnalysis, LogEntry};
+pub use server::{Handler, RequestObserver, Server, ServerConfig};

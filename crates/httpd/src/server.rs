@@ -1,0 +1,334 @@
+//! The threaded server: accept loop + fixed worker pool.
+//!
+//! One OS thread accepts connections and hands them to workers over a
+//! crossbeam channel; each worker owns a connection for its keep-alive
+//! lifetime (the 1998-era model: persistent connections, bounded
+//! concurrency, no async runtime required at these request sizes).
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::http::{read_request, ParseError, Request, Response, Status};
+
+/// A request handler (the FastCGI-attached "server program").
+pub trait Handler: Send + Sync + 'static {
+    /// Produce a response for `req`.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+/// Observer invoked after each request is served: `(request, status,
+/// body_bytes)`. Used for access logging.
+pub type RequestObserver = Arc<dyn Fn(&Request, u16, u64) + Send + Sync>;
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, req: &Request) -> Response {
+        self(req)
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (concurrent connections served).
+    pub workers: usize,
+    /// Pending-connection queue depth before accept blocks.
+    pub backlog: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            backlog: 128,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A running server; dropping it shuts the server down.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    served: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and start
+    /// serving `handler`.
+    pub fn bind(
+        addr: &str,
+        handler: Arc<dyn Handler>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Self::bind_with_observer(addr, handler, config, None)
+    }
+
+    /// Like [`Server::bind`], with an observer called after every served
+    /// request (access logging).
+    pub fn bind_with_observer(
+        addr: &str,
+        handler: Arc<dyn Handler>,
+        config: ServerConfig,
+        observer: Option<RequestObserver>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(config.backlog);
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers.max(1) {
+            let rx = rx.clone();
+            let handler = Arc::clone(&handler);
+            let served = Arc::clone(&served);
+            let timeout = config.read_timeout;
+            let worker_shutdown = Arc::clone(&shutdown);
+            let observer = observer.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("httpd-worker-{i}"))
+                    .spawn(move || {
+                        worker_loop(rx, handler, served, timeout, worker_shutdown, observer)
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("httpd-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Relaxed) {
+                        break;
+                    }
+                    match stream {
+                        Ok(s) => {
+                            if tx.send(s).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // Dropping tx disconnects the workers.
+            })
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            addr: local,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            workers,
+            served,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Relaxed)
+    }
+
+    /// Stop accepting and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Relaxed);
+        // Poke the accept loop out of `incoming()`.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<TcpStream>,
+    handler: Arc<dyn Handler>,
+    served: Arc<AtomicU64>,
+    timeout: Duration,
+    shutdown: Arc<AtomicBool>,
+    observer: Option<RequestObserver>,
+) {
+    while let Ok(stream) = rx.recv() {
+        // Short poll interval so keep-alive workers notice shutdown fast;
+        // idle connections are re-polled until `timeout` worth of silence.
+        let poll = Duration::from_millis(50);
+        let _ = stream.set_read_timeout(Some(poll));
+        let _ = stream.set_nodelay(true);
+        let Ok(read_half) = stream.try_clone() else {
+            continue;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = BufWriter::new(stream);
+        let mut idle = Duration::ZERO;
+        loop {
+            let request = match read_request(&mut reader) {
+                Ok(r) => {
+                    idle = Duration::ZERO;
+                    r
+                }
+                Err(ParseError::ConnectionClosed) => break,
+                Err(ParseError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    idle += poll;
+                    if shutdown.load(Relaxed) || idle >= timeout {
+                        break;
+                    }
+                    continue;
+                }
+                Err(ParseError::Io(_)) => break,
+                Err(ParseError::Malformed(msg)) => {
+                    let _ = Response::text(Status::BadRequest, msg).write_to(&mut writer, false);
+                    break;
+                }
+            };
+            let response = if request.method == "GET" || request.method == "HEAD" {
+                handler.handle(&request)
+            } else {
+                Response::text(Status::MethodNotAllowed, "only GET/HEAD\n")
+            };
+            served.fetch_add(1, Relaxed);
+            if let Some(obs) = &observer {
+                obs(&request, response.status.code(), response.body.len() as u64);
+            }
+            let keep = request.keep_alive;
+            if response.write_to(&mut writer, keep).is_err() {
+                break;
+            }
+            if !keep {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use bytes::Bytes;
+
+    fn echo_server() -> Server {
+        let handler: Arc<dyn Handler> = Arc::new(|req: &Request| {
+            if req.path == "/missing" {
+                Response::not_found()
+            } else {
+                Response::html(Bytes::from(format!("<p>{}</p>", req.path)))
+            }
+        });
+        Server::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn serves_a_request() {
+        let server = echo_server();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let (code, body) = client.get("/medals").unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(&body[..], b"<p>/medals</p>");
+        assert_eq!(server.served(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection() {
+        let server = echo_server();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        for i in 0..10 {
+            let (code, body) = client.get(&format!("/p{i}")).unwrap();
+            assert_eq!(code, 200);
+            assert_eq!(body, Bytes::from(format!("<p>/p{i}</p>")));
+        }
+        assert_eq!(server.served(), 10);
+        server.shutdown();
+    }
+
+    #[test]
+    fn not_found_and_method_checks() {
+        let server = echo_server();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let (code, _) = client.get("/missing").unwrap();
+        assert_eq!(code, 404);
+        let (code, _) = client.request("POST", "/x").unwrap();
+        assert_eq!(code, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = echo_server();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            handles.push(std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                for i in 0..50 {
+                    let (code, _) = client.get(&format!("/t{t}/{i}")).unwrap();
+                    assert_eq!(code, 200);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.served(), 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_clean_and_idempotent_on_drop() {
+        let server = echo_server();
+        let addr = server.addr();
+        server.shutdown();
+        // Further connections may connect (OS backlog) but get no service;
+        // binding a new server on a fresh port still works.
+        let server2 = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(|_: &Request| Response::html(Bytes::from_static(b"x"))),
+            ServerConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(server2.addr(), addr);
+        drop(server2); // drop path also shuts down
+    }
+}

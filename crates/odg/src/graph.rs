@@ -1,0 +1,748 @@
+//! The object dependence graph itself: nodes, weighted edges, incremental
+//! mutation, and structural queries.
+//!
+//! Terminology follows §2 of the paper: a vertex represents an object or
+//! underlying data ("it is possible for an item to constitute both an
+//! object and underlying data" — [`NodeKind::Hybrid`]); an edge from `v` to
+//! `u` indicates that a change to `v` also affects `u`.
+
+use std::fmt;
+
+use rustc_hash::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier for a graph node. Produced by
+/// [`crate::Interner`] or assigned directly by callers.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a vertex represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Underlying data: changes originate here (database records).
+    UnderlyingData,
+    /// An object: a cacheable item (page or fragment).
+    Object,
+    /// Both at once — e.g. a page fragment that is cached itself *and*
+    /// feeds into composed pages (Figure 15 of the paper).
+    Hybrid,
+}
+
+impl NodeKind {
+    /// Whether this node's value can live in the cache.
+    pub fn is_object(self) -> bool {
+        matches!(self, NodeKind::Object | NodeKind::Hybrid)
+    }
+
+    /// Whether changes can originate at this node.
+    pub fn is_data(self) -> bool {
+        matches!(self, NodeKind::UnderlyingData | NodeKind::Hybrid)
+    }
+}
+
+/// A weighted dependence edge. The weight is "correlated with the importance
+/// of data dependencies" (Figure 1): higher means a change matters more to
+/// the downstream object.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// The affected node.
+    pub to: NodeId,
+    /// Importance of the dependence; `1.0` for unweighted graphs.
+    pub weight: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: NodeKind,
+    out: Vec<Edge>,
+    preds: Vec<NodeId>,
+}
+
+/// Errors from graph mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OdgError {
+    /// Operation referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// Attempted to insert a duplicate node id.
+    DuplicateNode(NodeId),
+    /// Edge weight was not finite and positive.
+    BadWeight,
+}
+
+impl fmt::Display for OdgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OdgError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            OdgError::DuplicateNode(id) => write!(f, "duplicate node {id}"),
+            OdgError::BadWeight => write!(f, "edge weight must be finite and positive"),
+        }
+    }
+}
+
+impl std::error::Error for OdgError {}
+
+/// Aggregate statistics about a graph (diagnostics / capacity planning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Total vertices.
+    pub nodes: usize,
+    /// Total edges.
+    pub edges: usize,
+    /// Pure underlying-data vertices.
+    pub data_nodes: usize,
+    /// Pure object vertices.
+    pub object_nodes: usize,
+    /// Hybrid vertices.
+    pub hybrid_nodes: usize,
+    /// Largest out-degree (widest single-datum fan-out).
+    pub max_out_degree: usize,
+    /// Largest in-degree (most-composed object).
+    pub max_in_degree: usize,
+    /// Edges with non-unit weights.
+    pub weighted_edges: usize,
+}
+
+/// A serialisable point-in-time copy of a graph (export / debugging).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OdgSnapshot {
+    /// `(id, kind)` pairs, sorted by id.
+    pub nodes: Vec<(u32, NodeKind)>,
+    /// `(from, to, weight)` triples, sorted.
+    pub edges: Vec<(u32, u32, f64)>,
+}
+
+/// The object dependence graph.
+///
+/// "ODGs are constantly changing" (§2): nodes and edges are added as pages
+/// are first generated and removed as pages are retired, so all mutation is
+/// incremental. Both forward and reverse adjacency are maintained to make
+/// node removal and reverse queries cheap.
+#[derive(Debug, Default, Clone)]
+pub struct Odg {
+    nodes: FxHashMap<NodeId, Node>,
+    edge_count: usize,
+    /// Bumped on every structural change; used by [`crate::DupEngine`] to
+    /// invalidate its cached simple-ODG specialisation.
+    generation: u64,
+}
+
+impl Odg {
+    /// New empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Structural generation counter (bumps on any mutation).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether `id` exists.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// The kind of node `id`.
+    pub fn kind(&self, id: NodeId) -> Option<NodeKind> {
+        self.nodes.get(&id).map(|n| n.kind)
+    }
+
+    /// Insert a new node. Errors if the id already exists.
+    pub fn add_node(&mut self, id: NodeId, kind: NodeKind) -> Result<(), OdgError> {
+        if self.nodes.contains_key(&id) {
+            return Err(OdgError::DuplicateNode(id));
+        }
+        self.nodes.insert(
+            id,
+            Node {
+                kind,
+                out: Vec::new(),
+                preds: Vec::new(),
+            },
+        );
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Insert a node if absent; upgrade its kind to [`NodeKind::Hybrid`]
+    /// when the existing kind differs (an item that turns out to be both
+    /// data and object).
+    pub fn ensure_node(&mut self, id: NodeId, kind: NodeKind) -> NodeKind {
+        self.generation += 1;
+        let entry = self.nodes.entry(id).or_insert_with(|| Node {
+            kind,
+            out: Vec::new(),
+            preds: Vec::new(),
+        });
+        if entry.kind != kind {
+            entry.kind = NodeKind::Hybrid;
+        }
+        entry.kind
+    }
+
+    /// Remove a node and all incident edges. Errors if the node is unknown.
+    pub fn remove_node(&mut self, id: NodeId) -> Result<(), OdgError> {
+        let node = self.nodes.remove(&id).ok_or(OdgError::UnknownNode(id))?;
+        self.edge_count -= node.out.len();
+        for e in &node.out {
+            if let Some(succ) = self.nodes.get_mut(&e.to) {
+                succ.preds.retain(|&p| p != id);
+            }
+        }
+        for p in &node.preds {
+            if let Some(pred) = self.nodes.get_mut(p) {
+                let before = pred.out.len();
+                pred.out.retain(|e| e.to != id);
+                self.edge_count -= before - pred.out.len();
+            }
+        }
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Add (or re-weight) the edge `from → to`. Errors on unknown endpoints
+    /// or a non-positive/non-finite weight.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: f64) -> Result<(), OdgError> {
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(OdgError::BadWeight);
+        }
+        if !self.nodes.contains_key(&to) {
+            return Err(OdgError::UnknownNode(to));
+        }
+        let node = self.nodes.get_mut(&from).ok_or(OdgError::UnknownNode(from))?;
+        if let Some(e) = node.out.iter_mut().find(|e| e.to == to) {
+            e.weight = weight;
+        } else {
+            node.out.push(Edge { to, weight });
+            self.edge_count += 1;
+            self.nodes
+                .get_mut(&to)
+                .expect("checked above")
+                .preds
+                .push(from);
+        }
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Remove the edge `from → to`; returns whether it existed.
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        let Some(node) = self.nodes.get_mut(&from) else {
+            return false;
+        };
+        let before = node.out.len();
+        node.out.retain(|e| e.to != to);
+        let removed = node.out.len() != before;
+        if removed {
+            self.edge_count -= 1;
+            if let Some(succ) = self.nodes.get_mut(&to) {
+                let pos = succ.preds.iter().position(|&p| p == from);
+                if let Some(pos) = pos {
+                    succ.preds.swap_remove(pos);
+                }
+            }
+            self.generation += 1;
+        }
+        removed
+    }
+
+    /// Successors (the nodes affected by a change to `id`).
+    pub fn successors(&self, id: NodeId) -> &[Edge] {
+        self.nodes.get(&id).map(|n| n.out.as_slice()).unwrap_or(&[])
+    }
+
+    /// Predecessors (the nodes whose changes affect `id`).
+    pub fn predecessors(&self, id: NodeId) -> &[NodeId] {
+        self.nodes
+            .get(&id)
+            .map(|n| n.preds.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Iterate all node ids (arbitrary order).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Whether this is a **simple ODG** per §2 of the paper:
+    /// * every underlying-data vertex has no incoming edge,
+    /// * every object vertex has no outgoing edge,
+    /// * no hybrid vertices, and
+    /// * all weights are 1 (unweighted).
+    ///
+    /// DUP is "considerably easier to implement if the ODG is simple"; the
+    /// engine switches to a bipartite fast path when this holds.
+    pub fn is_simple(&self) -> bool {
+        self.nodes.iter().all(|(_, n)| match n.kind {
+            NodeKind::Hybrid => false,
+            NodeKind::UnderlyingData => {
+                n.preds.is_empty() && n.out.iter().all(|e| e.weight == 1.0)
+            }
+            NodeKind::Object => n.out.is_empty(),
+        })
+    }
+
+    /// All nodes reachable from `sources` (excluding unaffected nodes);
+    /// plain unweighted BFS. Includes the sources themselves.
+    pub fn reachable(&self, sources: &[NodeId]) -> FxHashSet<NodeId> {
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        let mut queue: Vec<NodeId> = Vec::with_capacity(sources.len());
+        for &s in sources {
+            if self.contains(s) && seen.insert(s) {
+                queue.push(s);
+            }
+        }
+        while let Some(v) = queue.pop() {
+            for e in self.successors(v) {
+                if seen.insert(e.to) {
+                    queue.push(e.to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Detect whether the subgraph induced by `nodes` contains a directed
+    /// cycle (iterative three-colour DFS).
+    pub fn has_cycle_within(&self, nodes: &FxHashSet<NodeId>) -> bool {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour: FxHashMap<NodeId, Colour> =
+            nodes.iter().map(|&n| (n, Colour::White)).collect();
+        for &start in nodes {
+            if colour[&start] != Colour::White {
+                continue;
+            }
+            // Stack of (node, next-successor-index).
+            let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+            colour.insert(start, Colour::Grey);
+            while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+                let succs = self.successors(v);
+                let mut advanced = false;
+                while *i < succs.len() {
+                    let to = succs[*i].to;
+                    *i += 1;
+                    if !nodes.contains(&to) {
+                        continue;
+                    }
+                    match colour[&to] {
+                        Colour::Grey => return true,
+                        Colour::White => {
+                            colour.insert(to, Colour::Grey);
+                            stack.push((to, 0));
+                            advanced = true;
+                            break;
+                        }
+                        Colour::Black => {}
+                    }
+                }
+                if !advanced && stack.last().map(|&(n, _)| n) == Some(v) {
+                    colour.insert(v, Colour::Black);
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> GraphStats {
+        let mut stats = GraphStats {
+            nodes: self.nodes.len(),
+            edges: self.edge_count,
+            data_nodes: 0,
+            object_nodes: 0,
+            hybrid_nodes: 0,
+            max_out_degree: 0,
+            max_in_degree: 0,
+            weighted_edges: 0,
+        };
+        for node in self.nodes.values() {
+            match node.kind {
+                NodeKind::UnderlyingData => stats.data_nodes += 1,
+                NodeKind::Object => stats.object_nodes += 1,
+                NodeKind::Hybrid => stats.hybrid_nodes += 1,
+            }
+            stats.max_out_degree = stats.max_out_degree.max(node.out.len());
+            stats.max_in_degree = stats.max_in_degree.max(node.preds.len());
+            stats.weighted_edges += node.out.iter().filter(|e| e.weight != 1.0).count();
+        }
+        stats
+    }
+
+    /// Verify internal invariants: forward and reverse adjacency agree,
+    /// every edge endpoint exists, the edge count is exact, and weights
+    /// are positive and finite. Returns a description of the first
+    /// violation found. Cheap enough for debug assertions on graphs of
+    /// hundreds of thousands of edges.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut counted = 0usize;
+        for (&id, node) in &self.nodes {
+            for e in &node.out {
+                counted += 1;
+                if !(e.weight.is_finite() && e.weight > 0.0) {
+                    return Err(format!("edge {id}->{} has bad weight {}", e.to, e.weight));
+                }
+                let Some(succ) = self.nodes.get(&e.to) else {
+                    return Err(format!("edge {id}->{} points at a missing node", e.to));
+                };
+                if !succ.preds.contains(&id) {
+                    return Err(format!("edge {id}->{} missing from reverse adjacency", e.to));
+                }
+            }
+            for &p in &node.preds {
+                let Some(pred) = self.nodes.get(&p) else {
+                    return Err(format!("pred {p} of {id} is a missing node"));
+                };
+                if !pred.out.iter().any(|e| e.to == id) {
+                    return Err(format!("pred {p} of {id} missing from forward adjacency"));
+                }
+            }
+        }
+        if counted != self.edge_count {
+            return Err(format!(
+                "edge count drift: counted {counted}, recorded {}",
+                self.edge_count
+            ));
+        }
+        Ok(())
+    }
+
+    /// Export a serialisable snapshot (sorted, so snapshots of equal
+    /// graphs compare equal regardless of hash order).
+    pub fn snapshot(&self) -> OdgSnapshot {
+        let mut nodes: Vec<(u32, NodeKind)> =
+            self.nodes.iter().map(|(id, n)| (id.0, n.kind)).collect();
+        nodes.sort_unstable_by_key(|&(id, _)| id);
+        let mut edges: Vec<(u32, u32, f64)> = self
+            .nodes
+            .iter()
+            .flat_map(|(&from, n)| n.out.iter().map(move |e| (from.0, e.to.0, e.weight)))
+            .collect();
+        edges.sort_unstable_by_key(|a| (a.0, a.1));
+        OdgSnapshot { nodes, edges }
+    }
+
+    /// Topological order of the subgraph induced by `nodes` (Kahn's
+    /// algorithm). Returns `None` if the subgraph has a cycle.
+    pub fn topo_order_within(&self, nodes: &FxHashSet<NodeId>) -> Option<Vec<NodeId>> {
+        let mut indeg: FxHashMap<NodeId, usize> = FxHashMap::default();
+        for &n in nodes {
+            indeg.entry(n).or_insert(0);
+            for e in self.successors(n) {
+                if nodes.contains(&e.to) {
+                    *indeg.entry(e.to).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut ready: Vec<NodeId> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        // Sort for determinism: HashMap iteration order is unstable.
+        ready.sort_unstable();
+        let mut order = Vec::with_capacity(nodes.len());
+        while let Some(n) = ready.pop() {
+            order.push(n);
+            for e in self.successors(n) {
+                if let Some(d) = indeg.get_mut(&e.to) {
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(e.to);
+                    }
+                }
+            }
+        }
+        if order.len() == nodes.len() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Build the Figure 1 graph from the paper:
+    /// go1..go4 are underlying data; go5..go7 are objects/hybrids.
+    /// Edges: go1->go5 (w=5), go2->go5 (w=1), go2->go6, go3->go6,
+    /// go4->go7, go5->go7, go6->go7.
+    fn figure1() -> Odg {
+        let mut g = Odg::new();
+        for i in 1..=4 {
+            g.add_node(n(i), NodeKind::UnderlyingData).unwrap();
+        }
+        g.add_node(n(5), NodeKind::Hybrid).unwrap();
+        g.add_node(n(6), NodeKind::Hybrid).unwrap();
+        g.add_node(n(7), NodeKind::Object).unwrap();
+        g.add_edge(n(1), n(5), 5.0).unwrap();
+        g.add_edge(n(2), n(5), 1.0).unwrap();
+        g.add_edge(n(2), n(6), 1.0).unwrap();
+        g.add_edge(n(3), n(6), 1.0).unwrap();
+        g.add_edge(n(4), n(7), 1.0).unwrap();
+        g.add_edge(n(5), n(7), 1.0).unwrap();
+        g.add_edge(n(6), n(7), 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn figure1_reachability_matches_paper() {
+        // "If node go2 changes ... DUP determines that nodes go5 and go6
+        // also change. By transitivity, go7 also changes."
+        let g = figure1();
+        let reached = g.reachable(&[n(2)]);
+        let mut ids: Vec<u32> = reached.iter().map(|x| x.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 5, 6, 7]);
+    }
+
+    #[test]
+    fn counts_and_membership() {
+        let g = figure1();
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 7);
+        assert!(g.contains(n(5)));
+        assert!(!g.contains(n(99)));
+        assert_eq!(g.kind(n(1)), Some(NodeKind::UnderlyingData));
+        assert_eq!(g.kind(n(7)), Some(NodeKind::Object));
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let mut g = figure1();
+        assert_eq!(
+            g.add_node(n(1), NodeKind::Object),
+            Err(OdgError::DuplicateNode(n(1)))
+        );
+    }
+
+    #[test]
+    fn edges_to_unknown_nodes_rejected() {
+        let mut g = Odg::new();
+        g.add_node(n(1), NodeKind::UnderlyingData).unwrap();
+        assert_eq!(g.add_edge(n(1), n(2), 1.0), Err(OdgError::UnknownNode(n(2))));
+        assert_eq!(g.add_edge(n(3), n(1), 1.0), Err(OdgError::UnknownNode(n(3))));
+    }
+
+    #[test]
+    fn bad_weights_rejected() {
+        let mut g = Odg::new();
+        g.add_node(n(1), NodeKind::UnderlyingData).unwrap();
+        g.add_node(n(2), NodeKind::Object).unwrap();
+        assert_eq!(g.add_edge(n(1), n(2), 0.0), Err(OdgError::BadWeight));
+        assert_eq!(g.add_edge(n(1), n(2), -1.0), Err(OdgError::BadWeight));
+        assert_eq!(g.add_edge(n(1), n(2), f64::NAN), Err(OdgError::BadWeight));
+        assert_eq!(
+            g.add_edge(n(1), n(2), f64::INFINITY),
+            Err(OdgError::BadWeight)
+        );
+    }
+
+    #[test]
+    fn re_adding_edge_updates_weight_without_duplicating() {
+        let mut g = Odg::new();
+        g.add_node(n(1), NodeKind::UnderlyingData).unwrap();
+        g.add_node(n(2), NodeKind::Object).unwrap();
+        g.add_edge(n(1), n(2), 1.0).unwrap();
+        g.add_edge(n(1), n(2), 3.0).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.successors(n(1))[0].weight, 3.0);
+        assert_eq!(g.predecessors(n(2)), &[n(1)]);
+    }
+
+    #[test]
+    fn remove_edge() {
+        let mut g = figure1();
+        assert!(g.remove_edge(n(2), n(5)));
+        assert!(!g.remove_edge(n(2), n(5)));
+        assert_eq!(g.edge_count(), 6);
+        let reached = g.reachable(&[n(2)]);
+        assert!(!reached.contains(&n(5)));
+        assert!(reached.contains(&n(6))); // still via go2->go6
+    }
+
+    #[test]
+    fn remove_node_cleans_both_directions() {
+        let mut g = figure1();
+        g.remove_node(n(5)).unwrap();
+        assert_eq!(g.node_count(), 6);
+        // go1->go5, go2->go5, go5->go7 all gone.
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.successors(n(1)).is_empty());
+        assert!(!g.predecessors(n(7)).contains(&n(5)));
+        assert_eq!(g.remove_node(n(5)), Err(OdgError::UnknownNode(n(5))));
+    }
+
+    #[test]
+    fn ensure_node_upgrades_to_hybrid() {
+        let mut g = Odg::new();
+        assert_eq!(
+            g.ensure_node(n(1), NodeKind::Object),
+            NodeKind::Object
+        );
+        assert_eq!(
+            g.ensure_node(n(1), NodeKind::UnderlyingData),
+            NodeKind::Hybrid
+        );
+        assert_eq!(g.kind(n(1)), Some(NodeKind::Hybrid));
+    }
+
+    #[test]
+    fn figure1_is_not_simple_but_figure2_is() {
+        // Figure 1 has hybrid nodes and a weighted edge — not simple.
+        assert!(!figure1().is_simple());
+        // Figure 2: pure bipartite data -> object, unweighted.
+        let mut g = Odg::new();
+        for i in 1..=2 {
+            g.add_node(n(i), NodeKind::UnderlyingData).unwrap();
+        }
+        for i in 3..=5 {
+            g.add_node(n(i), NodeKind::Object).unwrap();
+        }
+        g.add_edge(n(1), n(3), 1.0).unwrap();
+        g.add_edge(n(1), n(4), 1.0).unwrap();
+        g.add_edge(n(2), n(4), 1.0).unwrap();
+        g.add_edge(n(2), n(5), 1.0).unwrap();
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn weighted_bipartite_is_not_simple() {
+        let mut g = Odg::new();
+        g.add_node(n(1), NodeKind::UnderlyingData).unwrap();
+        g.add_node(n(2), NodeKind::Object).unwrap();
+        g.add_edge(n(1), n(2), 2.0).unwrap();
+        assert!(!g.is_simple());
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = Odg::new();
+        for i in 1..=3 {
+            g.add_node(n(i), NodeKind::Hybrid).unwrap();
+        }
+        g.add_edge(n(1), n(2), 1.0).unwrap();
+        g.add_edge(n(2), n(3), 1.0).unwrap();
+        let all = g.reachable(&[n(1)]);
+        assert!(!g.has_cycle_within(&all));
+        g.add_edge(n(3), n(1), 1.0).unwrap();
+        let all = g.reachable(&[n(1)]);
+        assert!(g.has_cycle_within(&all));
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = figure1();
+        let sub = g.reachable(&[n(1), n(2), n(3), n(4)]);
+        let order = g.topo_order_within(&sub).expect("figure 1 is a DAG");
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(n(1)) < pos(n(5)));
+        assert!(pos(n(2)) < pos(n(5)));
+        assert!(pos(n(5)) < pos(n(7)));
+        assert!(pos(n(6)) < pos(n(7)));
+        assert_eq!(order.len(), 7);
+    }
+
+    #[test]
+    fn topo_order_detects_cycles() {
+        let mut g = Odg::new();
+        g.add_node(n(1), NodeKind::Hybrid).unwrap();
+        g.add_node(n(2), NodeKind::Hybrid).unwrap();
+        g.add_edge(n(1), n(2), 1.0).unwrap();
+        g.add_edge(n(2), n(1), 1.0).unwrap();
+        let all = g.reachable(&[n(1)]);
+        assert!(g.topo_order_within(&all).is_none());
+    }
+
+    #[test]
+    fn generation_bumps_on_mutation() {
+        let mut g = Odg::new();
+        let g0 = g.generation();
+        g.add_node(n(1), NodeKind::Object).unwrap();
+        assert!(g.generation() > g0);
+        let g1 = g.generation();
+        g.add_node(n(2), NodeKind::UnderlyingData).unwrap();
+        g.add_edge(n(2), n(1), 1.0).unwrap();
+        assert!(g.generation() > g1);
+        let g2 = g.generation();
+        g.remove_edge(n(2), n(1));
+        assert!(g.generation() > g2);
+    }
+
+    #[test]
+    fn stats_summarise_figure1() {
+        let g = figure1();
+        let s = g.stats();
+        assert_eq!(s.nodes, 7);
+        assert_eq!(s.edges, 7);
+        assert_eq!(s.data_nodes, 4);
+        assert_eq!(s.object_nodes, 1);
+        assert_eq!(s.hybrid_nodes, 2);
+        assert_eq!(s.max_out_degree, 2); // go2 feeds go5 and go6
+        assert_eq!(s.max_in_degree, 3); // go7 composed from go4, go5, go6
+        assert_eq!(s.weighted_edges, 1); // the weight-5 edge
+    }
+
+    #[test]
+    fn validate_accepts_wellformed_and_survives_mutation() {
+        let mut g = figure1();
+        g.validate().expect("figure 1 is well-formed");
+        g.remove_node(n(5)).unwrap();
+        g.validate().expect("still well-formed after removal");
+        g.add_node(n(5), NodeKind::Object).unwrap();
+        g.add_edge(n(1), n(5), 2.0).unwrap();
+        g.remove_edge(n(1), n(5));
+        g.validate().expect("still well-formed after churn");
+    }
+
+    #[test]
+    fn snapshot_is_canonical_and_serialisable() {
+        let g = figure1();
+        let snap = g.snapshot();
+        assert_eq!(snap.nodes.len(), 7);
+        assert_eq!(snap.edges.len(), 7);
+        assert!(snap.edges.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)));
+        // Round-trips through JSON.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: OdgSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        // Equal graphs produce equal snapshots.
+        assert_eq!(figure1().snapshot(), snap);
+    }
+
+    #[test]
+    fn reachable_ignores_unknown_sources() {
+        let g = figure1();
+        let r = g.reachable(&[n(42)]);
+        assert!(r.is_empty());
+    }
+}

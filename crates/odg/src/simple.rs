@@ -1,0 +1,153 @@
+//! The **simple ODG** fast path.
+//!
+//! §2 of the paper: "In many cases we have encountered, the object
+//! dependence graph is a simple object dependence graph": underlying-data
+//! vertices have no incoming edges, object vertices have no outgoing edges,
+//! and edges are unweighted. The graph is then bipartite and DUP reduces to
+//! a single hash lookup per changed datum — no traversal, no weight
+//! accumulation, no cycle handling.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::graph::{NodeId, Odg};
+
+/// A bipartite data → objects dependence map.
+#[derive(Debug, Default, Clone)]
+pub struct SimpleOdg {
+    deps: FxHashMap<NodeId, Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl SimpleOdg {
+    /// New empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a general graph. The caller is responsible for having
+    /// checked [`Odg::is_simple`]; this constructor simply flattens
+    /// successor lists (weights, if any, are ignored).
+    pub fn from_graph(g: &Odg) -> Self {
+        let mut s = SimpleOdg::new();
+        for id in g.node_ids() {
+            let succs = g.successors(id);
+            if !succs.is_empty() {
+                s.deps
+                    .insert(id, succs.iter().map(|e| e.to).collect::<Vec<_>>());
+                s.edge_count += succs.len();
+            }
+        }
+        s
+    }
+
+    /// Record that a change to `data` affects `object`. Duplicate
+    /// registrations are ignored.
+    pub fn add_dependency(&mut self, data: NodeId, object: NodeId) {
+        let objs = self.deps.entry(data).or_default();
+        if !objs.contains(&object) {
+            objs.push(object);
+            self.edge_count += 1;
+        }
+    }
+
+    /// Remove a dependency; returns whether it existed.
+    pub fn remove_dependency(&mut self, data: NodeId, object: NodeId) -> bool {
+        if let Some(objs) = self.deps.get_mut(&data) {
+            if let Some(pos) = objs.iter().position(|&o| o == object) {
+                objs.swap_remove(pos);
+                self.edge_count -= 1;
+                if objs.is_empty() {
+                    self.deps.remove(&data);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of dependencies.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Objects directly depending on `data`.
+    pub fn objects_for(&self, data: NodeId) -> &[NodeId] {
+        self.deps.get(&data).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The deduplicated set of objects affected by a batch of changed data,
+    /// returned in sorted order for determinism.
+    pub fn affected(&self, changed: &[NodeId]) -> Vec<NodeId> {
+        let mut set: FxHashSet<NodeId> = FxHashSet::default();
+        for d in changed {
+            for &o in self.objects_for(*d) {
+                set.insert(o);
+            }
+        }
+        let mut out: Vec<NodeId> = set.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn direct_lookup() {
+        let mut s = SimpleOdg::new();
+        s.add_dependency(n(1), n(10));
+        s.add_dependency(n(1), n(11));
+        s.add_dependency(n(2), n(11));
+        assert_eq!(s.edge_count(), 3);
+        assert_eq!(s.objects_for(n(1)), &[n(10), n(11)]);
+        assert_eq!(s.affected(&[n(1), n(2)]), vec![n(10), n(11)]);
+        assert!(s.affected(&[n(3)]).is_empty());
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut s = SimpleOdg::new();
+        s.add_dependency(n(1), n(10));
+        s.add_dependency(n(1), n(10));
+        assert_eq!(s.edge_count(), 1);
+    }
+
+    #[test]
+    fn remove_dependency() {
+        let mut s = SimpleOdg::new();
+        s.add_dependency(n(1), n(10));
+        assert!(s.remove_dependency(n(1), n(10)));
+        assert!(!s.remove_dependency(n(1), n(10)));
+        assert_eq!(s.edge_count(), 0);
+        assert!(s.objects_for(n(1)).is_empty());
+    }
+
+    #[test]
+    fn from_graph_flattens() {
+        let mut g = Odg::new();
+        g.add_node(n(1), NodeKind::UnderlyingData).unwrap();
+        g.add_node(n(2), NodeKind::Object).unwrap();
+        g.add_node(n(3), NodeKind::Object).unwrap();
+        g.add_edge(n(1), n(2), 1.0).unwrap();
+        g.add_edge(n(1), n(3), 1.0).unwrap();
+        let s = SimpleOdg::from_graph(&g);
+        assert_eq!(s.edge_count(), 2);
+        assert_eq!(s.affected(&[n(1)]), vec![n(2), n(3)]);
+    }
+
+    #[test]
+    fn affected_is_sorted_and_deduped() {
+        let mut s = SimpleOdg::new();
+        s.add_dependency(n(1), n(30));
+        s.add_dependency(n(2), n(10));
+        s.add_dependency(n(1), n(10));
+        assert_eq!(s.affected(&[n(1), n(2)]), vec![n(10), n(30)]);
+    }
+}

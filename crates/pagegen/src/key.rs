@@ -1,0 +1,250 @@
+//! Typed page identities.
+//!
+//! Every servable URL on the site maps to one [`PageKey`]; every key has a
+//! canonical URL (`to_url`) and parses back (`parse`). Keys double as the
+//! cache keys and — prefixed via [`PageKey::object_key`] — as the object
+//! vertices of the dependence graph.
+
+use nagano_db::{AthleteId, CountryId, EventId, NewsId, SportId};
+use serde::{Deserialize, Serialize};
+
+/// A cacheable page fragment (Figure 15 of the paper).
+///
+/// Fragments are *hybrid* ODG vertices: they are cached objects in their
+/// own right and underlying data for the composed pages that embed them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FragmentKey {
+    /// Result table for one event.
+    ResultTable(EventId),
+    /// The medal-standings table.
+    MedalTable,
+    /// News headline strip for one day.
+    Headlines(u32),
+}
+
+impl FragmentKey {
+    /// Canonical URL of the fragment (fragments are servable, e.g. for
+    /// the CBS feed the paper mentions).
+    pub fn to_url(self) -> String {
+        match self {
+            FragmentKey::ResultTable(e) => format!("/fragments/results/{}", e.0),
+            FragmentKey::MedalTable => "/fragments/medals".to_string(),
+            FragmentKey::Headlines(d) => format!("/fragments/headlines/{d}"),
+        }
+    }
+}
+
+/// Identity of one servable page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PageKey {
+    /// Per-day home page ("Today" category; a different home page was
+    /// created each day of the Games).
+    Home(u32),
+    /// The "how to / what is" page.
+    Welcome,
+    /// One news article.
+    News(NewsId),
+    /// The news index for one day.
+    NewsIndex(u32),
+    /// Venue information for a sport.
+    Venue(SportId),
+    /// A sport's results/scores page.
+    Sport(SportId),
+    /// One event's page.
+    Event(EventId),
+    /// A country's collated page.
+    Country(CountryId),
+    /// An athlete's collated page.
+    Athlete(AthleteId),
+    /// The medal standings page.
+    Medals,
+    /// Information about Nagano (static).
+    Nagano,
+    /// Children's activities (static).
+    Fun,
+    /// A cacheable page fragment.
+    Fragment(FragmentKey),
+}
+
+impl PageKey {
+    /// Canonical URL path.
+    pub fn to_url(self) -> String {
+        match self {
+            PageKey::Home(d) => format!("/day/{d}/"),
+            PageKey::Welcome => "/welcome".to_string(),
+            PageKey::News(n) => format!("/news/{}", n.0),
+            PageKey::NewsIndex(d) => format!("/news/day/{d}"),
+            PageKey::Venue(s) => format!("/venues/{}", s.0),
+            PageKey::Sport(s) => format!("/sports/{}", s.0),
+            PageKey::Event(e) => format!("/events/{}", e.0),
+            PageKey::Country(c) => format!("/countries/{}", c.0),
+            PageKey::Athlete(a) => format!("/athletes/{}", a.0),
+            PageKey::Medals => "/medals".to_string(),
+            PageKey::Nagano => "/nagano".to_string(),
+            PageKey::Fun => "/fun".to_string(),
+            PageKey::Fragment(f) => f.to_url(),
+        }
+    }
+
+    /// The ODG object-vertex name for this page.
+    pub fn object_key(self) -> String {
+        format!("page:{}", self.to_url())
+    }
+
+    /// Parse a URL path back into a key. Returns `None` for unknown paths.
+    pub fn parse(path: &str) -> Option<PageKey> {
+        let path = path.strip_suffix('/').unwrap_or(path);
+        let mut parts = path.split('/').filter(|s| !s.is_empty());
+        let head = parts.next();
+        let key = match head {
+            Some("day") => PageKey::Home(parts.next()?.parse().ok()?),
+            Some("welcome") => PageKey::Welcome,
+            Some("news") => match parts.next()? {
+                "day" => PageKey::NewsIndex(parts.next()?.parse().ok()?),
+                n => PageKey::News(NewsId(n.parse().ok()?)),
+            },
+            Some("venues") => PageKey::Venue(SportId(parts.next()?.parse().ok()?)),
+            Some("sports") => PageKey::Sport(SportId(parts.next()?.parse().ok()?)),
+            Some("events") => PageKey::Event(EventId(parts.next()?.parse().ok()?)),
+            Some("countries") => PageKey::Country(CountryId(parts.next()?.parse().ok()?)),
+            Some("athletes") => PageKey::Athlete(AthleteId(parts.next()?.parse().ok()?)),
+            Some("medals") => PageKey::Medals,
+            Some("nagano") => PageKey::Nagano,
+            Some("fun") => PageKey::Fun,
+            Some("fragments") => match parts.next()? {
+                "results" => {
+                    PageKey::Fragment(FragmentKey::ResultTable(EventId(parts.next()?.parse().ok()?)))
+                }
+                "medals" => PageKey::Fragment(FragmentKey::MedalTable),
+                "headlines" => {
+                    PageKey::Fragment(FragmentKey::Headlines(parts.next()?.parse().ok()?))
+                }
+                _ => return None,
+            },
+            _ => return None,
+        };
+        // Reject trailing junk.
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(key)
+    }
+
+    /// Whether this page is dynamic (built from database content) or
+    /// static (served as-is).
+    pub fn is_dynamic(self) -> bool {
+        !matches!(self, PageKey::Welcome | PageKey::Nagano | PageKey::Fun | PageKey::Venue(_))
+    }
+
+    /// Content category (the paper's nine categories; fragments report the
+    /// category of the page family they feed).
+    pub fn category(self) -> &'static str {
+        match self {
+            PageKey::Home(_) => "Today",
+            PageKey::Welcome => "Welcome",
+            PageKey::News(_) | PageKey::NewsIndex(_) => "News",
+            PageKey::Venue(_) => "Venues",
+            PageKey::Sport(_) | PageKey::Event(_) => "Sports",
+            PageKey::Country(_) => "Countries",
+            PageKey::Athlete(_) => "Athletes",
+            PageKey::Medals => "Today",
+            PageKey::Nagano => "Nagano",
+            PageKey::Fun => "Fun",
+            PageKey::Fragment(_) => "Sports",
+        }
+    }
+}
+
+impl std::fmt::Display for PageKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_url())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sample_keys() -> Vec<PageKey> {
+        vec![
+            PageKey::Home(14),
+            PageKey::Welcome,
+            PageKey::News(NewsId(7)),
+            PageKey::NewsIndex(3),
+            PageKey::Venue(SportId(2)),
+            PageKey::Sport(SportId(2)),
+            PageKey::Event(EventId(11)),
+            PageKey::Country(CountryId(4)),
+            PageKey::Athlete(AthleteId(99)),
+            PageKey::Medals,
+            PageKey::Nagano,
+            PageKey::Fun,
+            PageKey::Fragment(FragmentKey::ResultTable(EventId(11))),
+            PageKey::Fragment(FragmentKey::MedalTable),
+            PageKey::Fragment(FragmentKey::Headlines(5)),
+        ]
+    }
+
+    #[test]
+    fn url_roundtrip_for_every_variant() {
+        for key in all_sample_keys() {
+            let url = key.to_url();
+            assert_eq!(PageKey::parse(&url), Some(key), "url {url}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "/",
+            "/unknown",
+            "/events/",
+            "/events/abc",
+            "/athletes/1/extra",
+            "/fragments/bogus/1",
+            "/news/day/",
+        ] {
+            assert_eq!(PageKey::parse(bad), None, "path {bad}");
+        }
+    }
+
+    #[test]
+    fn object_key_prefixes_url() {
+        assert_eq!(PageKey::Medals.object_key(), "page:/medals");
+        assert_eq!(
+            PageKey::Event(EventId(3)).object_key(),
+            "page:/events/3"
+        );
+    }
+
+    #[test]
+    fn static_vs_dynamic_split() {
+        assert!(!PageKey::Welcome.is_dynamic());
+        assert!(!PageKey::Nagano.is_dynamic());
+        assert!(!PageKey::Fun.is_dynamic());
+        assert!(!PageKey::Venue(SportId(1)).is_dynamic());
+        assert!(PageKey::Home(1).is_dynamic());
+        assert!(PageKey::Event(EventId(1)).is_dynamic());
+        assert!(PageKey::Fragment(FragmentKey::MedalTable).is_dynamic());
+    }
+
+    #[test]
+    fn categories_cover_the_paper_list() {
+        use std::collections::HashSet;
+        let cats: HashSet<&str> = all_sample_keys().iter().map(|k| k.category()).collect();
+        for want in ["Today", "Welcome", "News", "Venues", "Sports", "Countries", "Athletes", "Nagano", "Fun"] {
+            assert!(cats.contains(want), "missing category {want}");
+        }
+    }
+
+    #[test]
+    fn display_is_url() {
+        assert_eq!(PageKey::Home(3).to_string(), "/day/3/");
+    }
+
+    #[test]
+    fn home_url_trailing_slash_normalises() {
+        assert_eq!(PageKey::parse("/day/3"), Some(PageKey::Home(3)));
+        assert_eq!(PageKey::parse("/day/3/"), Some(PageKey::Home(3)));
+    }
+}

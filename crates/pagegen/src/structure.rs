@@ -1,0 +1,193 @@
+//! The 1996 vs 1998 site structures as navigation models (§3.1,
+//! Figures 7–12).
+//!
+//! The paper's server logs showed 1996 users "spending too much time
+//! looking for basic information": at least three requests to reach a
+//! result page, no cross-links from leaf pages, navigation-only
+//! intermediate pages among the most requested. The 1998 redesign added a
+//! per-day home page carrying current results (">25% of the users found
+//! the information they were looking for by examining the home page"),
+//! organised content along four axes (sport/event/country/athlete), and
+//! cross-linked every leaf. IBM estimated the 1996 design would have drawn
+//! over 200M hits/day — more than 3× what the 1998 design actually peaked
+//! at.
+//!
+//! We model a visitor *information need* (e.g. "the latest result of event
+//! X") and count the requests spent satisfying it under each structure.
+
+use nagano_simcore::DeterministicRng;
+
+/// Which site design a visitor navigates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteStructure {
+    /// The 1996 Atlanta hierarchy (Figure 7): deep, navigation-only
+    /// interior pages, no cross-links.
+    Design96,
+    /// The 1998 Nagano hierarchy (Figure 11): per-day home pages carrying
+    /// results, four content axes, cross-linked leaves.
+    Design98,
+}
+
+/// Result of satisfying one information need.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NavOutcome {
+    /// HTTP page requests issued.
+    pub requests: u32,
+    /// Whether the home page alone satisfied the need.
+    pub satisfied_on_home: bool,
+}
+
+/// Navigation simulator for one structure.
+#[derive(Debug, Clone)]
+pub struct NavigationModel {
+    structure: SiteStructure,
+    /// Probability the per-day home page already shows what the visitor
+    /// wants (1998 only; calibrated to the paper's ">25%").
+    home_satisfaction: f64,
+    /// Probability a visitor needs information from a *second* section
+    /// after the first (cross-links make this cheap in 1998).
+    follow_up: f64,
+}
+
+impl NavigationModel {
+    /// Model with paper-calibrated parameters.
+    pub fn new(structure: SiteStructure) -> Self {
+        NavigationModel {
+            structure,
+            home_satisfaction: 0.28,
+            follow_up: 0.35,
+        }
+    }
+
+    /// Override the home-page satisfaction probability.
+    pub fn with_home_satisfaction(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.home_satisfaction = p;
+        self
+    }
+
+    /// The structure being modelled.
+    pub fn structure(&self) -> SiteStructure {
+        self.structure
+    }
+
+    /// Simulate one visitor need; returns the request count.
+    pub fn simulate_need(&self, rng: &mut DeterministicRng) -> NavOutcome {
+        match self.structure {
+            SiteStructure::Design96 => {
+                // Home → section index → sport → event page: the paper says
+                // "at least three Web server requests were needed to
+                // navigate to a result page"; visitors frequently
+                // overshoot once (wrong event page, back, retry).
+                let mut requests = 1 + 3; // home + three levels down
+                if rng.chance(0.30) {
+                    requests += 2; // wrong leaf, back out one level, retry
+                }
+                if rng.chance(self.follow_up) {
+                    // No cross-links: a second need re-descends the tree
+                    // from the section index.
+                    requests += 3;
+                }
+                NavOutcome {
+                    requests,
+                    satisfied_on_home: false,
+                }
+            }
+            SiteStructure::Design98 => {
+                if rng.chance(self.home_satisfaction) {
+                    // The day's home page carried the result.
+                    return NavOutcome {
+                        requests: 1,
+                        satisfied_on_home: true,
+                    };
+                }
+                // Direct section link from the home page: home + leaf.
+                let mut requests = 2;
+                if rng.chance(self.follow_up) {
+                    // Cross-links: one more request, no re-descent.
+                    requests += 1;
+                }
+                NavOutcome {
+                    requests,
+                    satisfied_on_home: false,
+                }
+            }
+        }
+    }
+
+    /// Average requests per need over `n` simulated visitors, plus the
+    /// fraction satisfied on the home page.
+    pub fn average_requests(&self, n: usize, rng: &mut DeterministicRng) -> (f64, f64) {
+        assert!(n > 0);
+        let mut total = 0u64;
+        let mut on_home = 0u64;
+        for _ in 0..n {
+            let o = self.simulate_need(rng);
+            total += o.requests as u64;
+            on_home += o.satisfied_on_home as u64;
+        }
+        (total as f64 / n as f64, on_home as f64 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DeterministicRng {
+        DeterministicRng::seed_from_u64(98)
+    }
+
+    #[test]
+    fn design96_needs_at_least_four_requests() {
+        let m = NavigationModel::new(SiteStructure::Design96);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let o = m.simulate_need(&mut r);
+            assert!(o.requests >= 4);
+            assert!(!o.satisfied_on_home);
+        }
+    }
+
+    #[test]
+    fn design98_can_satisfy_on_home_page() {
+        let m = NavigationModel::new(SiteStructure::Design98);
+        let mut r = rng();
+        let (_, home_frac) = m.average_requests(20_000, &mut r);
+        // Paper: "over 25% of the users found the information they were
+        // looking for by examining the home page".
+        assert!(home_frac > 0.25, "home fraction {home_frac}");
+        assert!(home_frac < 0.32);
+    }
+
+    #[test]
+    fn redesign_cuts_requests_by_about_3x() {
+        let mut r = rng();
+        let (avg96, _) = NavigationModel::new(SiteStructure::Design96).average_requests(20_000, &mut r);
+        let (avg98, _) = NavigationModel::new(SiteStructure::Design98).average_requests(20_000, &mut r);
+        let ratio = avg96 / avg98;
+        assert!(
+            (2.2..4.0).contains(&ratio),
+            "96:{avg96:.2} 98:{avg98:.2} ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn home_satisfaction_override() {
+        let m = NavigationModel::new(SiteStructure::Design98).with_home_satisfaction(1.0);
+        let mut r = rng();
+        let o = m.simulate_need(&mut r);
+        assert_eq!(o.requests, 1);
+        assert!(o.satisfied_on_home);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = NavigationModel::new(SiteStructure::Design98);
+        let mut a = DeterministicRng::seed_from_u64(5);
+        let mut b = DeterministicRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(m.simulate_need(&mut a), m.simulate_need(&mut b));
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Virtual time for the simulation.
+//!
+//! All simulated clocks run in microseconds since the start of the simulated
+//! Games (midnight local time before Day 1). Microsecond resolution is enough
+//! to order HTTP request service times (tens of microseconds) while a `u64`
+//! still spans ~584,000 simulated years.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+/// Number of microseconds in one minute.
+pub const MICROS_PER_MIN: u64 = 60 * MICROS_PER_SEC;
+/// Number of microseconds in one hour.
+pub const MICROS_PER_HOUR: u64 = 60 * MICROS_PER_MIN;
+/// Number of microseconds in one day.
+pub const MICROS_PER_DAY: u64 = 24 * MICROS_PER_HOUR;
+
+/// An instant on the simulated clock, measured in microseconds since the
+/// simulation epoch (midnight before Day 1 of the Games).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * MICROS_PER_SEC)
+    }
+
+    /// Construct from whole minutes.
+    pub fn from_mins(m: u64) -> Self {
+        SimTime(m * MICROS_PER_MIN)
+    }
+
+    /// Construct from whole hours.
+    pub fn from_hours(h: u64) -> Self {
+        SimTime(h * MICROS_PER_HOUR)
+    }
+
+    /// Construct from whole days.
+    pub fn from_days(d: u64) -> Self {
+        SimTime(d * MICROS_PER_DAY)
+    }
+
+    /// Construct a calendar instant: `day` is 1-based (Day 1 .. Day 16),
+    /// `hour` in `0..24`, `minute` in `0..60`.
+    pub fn at(day: u32, hour: u32, minute: u32) -> Self {
+        assert!(day >= 1, "days are 1-based");
+        assert!(hour < 24 && minute < 60, "hour/minute out of range");
+        SimTime(
+            (day as u64 - 1) * MICROS_PER_DAY
+                + hour as u64 * MICROS_PER_HOUR
+                + minute as u64 * MICROS_PER_MIN,
+        )
+    }
+
+    /// Raw microseconds since the epoch.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch (truncated).
+    pub fn as_secs(self) -> u64 {
+        self.0 / MICROS_PER_SEC
+    }
+
+    /// Seconds since the epoch as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// The 1-based day of the Games this instant falls in.
+    pub fn day(self) -> u32 {
+        (self.0 / MICROS_PER_DAY) as u32 + 1
+    }
+
+    /// Hour of day, `0..24`.
+    pub fn hour_of_day(self) -> u32 {
+        ((self.0 % MICROS_PER_DAY) / MICROS_PER_HOUR) as u32
+    }
+
+    /// Minute of day, `0..1440`.
+    pub fn minute_of_day(self) -> u32 {
+        ((self.0 % MICROS_PER_DAY) / MICROS_PER_MIN) as u32
+    }
+
+    /// Whole minutes since the epoch.
+    pub fn minute_index(self) -> u64 {
+        self.0 / MICROS_PER_MIN
+    }
+
+    /// Time elapsed since `earlier`; saturates at zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration.
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * MICROS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds; negative values clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            SimDuration(0)
+        } else {
+            SimDuration((s * MICROS_PER_SEC as f64).round() as u64)
+        }
+    }
+
+    /// Construct from whole minutes.
+    pub fn from_mins(m: u64) -> Self {
+        SimDuration(m * MICROS_PER_MIN)
+    }
+
+    /// Construct from whole hours.
+    pub fn from_hours(h: u64) -> Self {
+        SimDuration(h * MICROS_PER_HOUR)
+    }
+
+    /// Construct from whole days.
+    pub fn from_days(d: u64) -> Self {
+        SimDuration(d * MICROS_PER_DAY)
+    }
+
+    /// Raw microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds (truncated).
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.day();
+        let h = self.hour_of_day();
+        let m = self.minute_of_day() % 60;
+        let s = (self.0 % MICROS_PER_MIN) / MICROS_PER_SEC;
+        write!(f, "day {d} {h:02}:{m:02}:{s:02}")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}us", self.0)
+        } else if self.0 < MICROS_PER_SEC {
+            write!(f, "{:.2}ms", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calendar_roundtrip() {
+        let t = SimTime::at(7, 13, 45);
+        assert_eq!(t.day(), 7);
+        assert_eq!(t.hour_of_day(), 13);
+        assert_eq!(t.minute_of_day(), 13 * 60 + 45);
+    }
+
+    #[test]
+    fn day_one_starts_at_epoch() {
+        assert_eq!(SimTime::ZERO.day(), 1);
+        assert_eq!(SimTime::ZERO.hour_of_day(), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_hours(5) + SimDuration::from_mins(30);
+        assert_eq!(t.minute_of_day(), 330);
+        let d = t - SimTime::from_hours(5);
+        assert_eq!(d, SimDuration::from_mins(30));
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(2);
+        assert_eq!(early - late, SimDuration::ZERO);
+        assert_eq!(early.since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_display_units() {
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12us");
+        assert_eq!(format!("{}", SimDuration::from_millis(5)), "5.00ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(3)), "3.000s");
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_negative() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_millis(), 500);
+    }
+
+    #[test]
+    fn minute_index_monotone() {
+        let a = SimTime::at(2, 0, 59);
+        let b = SimTime::at(2, 1, 0);
+        assert_eq!(a.minute_index() + 1, b.minute_index());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the simulation kernel against naive references.
+
+use proptest::prelude::*;
+
+use nagano_simcore::{
+    DeterministicRng, EventQueue, Histogram, SimDuration, SimTime, TimeSeries, Welford, Zipf,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The event queue pops in exactly the order of a stable sort by time.
+    #[test]
+    fn queue_matches_stable_sort(times in proptest::collection::vec(0..10_000u64, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        let mut reference: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        reference.sort_by_key(|&(t, _)| t); // stable: ties keep insert order
+        let popped: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|(t, i)| (t.as_secs(), i))).collect();
+        prop_assert_eq!(popped, reference);
+    }
+
+    /// Histogram percentiles stay within the configured relative error of
+    /// exact order statistics.
+    #[test]
+    fn histogram_percentiles_bounded_error(
+        values in proptest::collection::vec(0.001f64..500.0, 50..400),
+        q in 1..100u32,
+    ) {
+        let mut h = Histogram::new(0.001, 1_000.0);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = (((q as f64 / 100.0) * sorted.len() as f64).ceil() as usize)
+            .clamp(1, sorted.len());
+        let exact = sorted[idx - 1];
+        let approx = h.percentile(q as f64);
+        // 5% bucket width plus one bucket of slack at boundaries.
+        prop_assert!(
+            (approx - exact).abs() / exact.max(1e-9) < 0.12,
+            "q{q}: approx {approx} exact {exact}"
+        );
+    }
+
+    /// Welford merging is order-independent (any split point agrees).
+    #[test]
+    fn welford_split_invariance(
+        values in proptest::collection::vec(-1_000.0f64..1_000.0, 2..100),
+        split in 1..99usize,
+    ) {
+        let split = split % values.len().max(1);
+        let mut whole = Welford::new();
+        for &v in &values {
+            whole.push(v);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &v in &values[..split] {
+            left.push(v);
+        }
+        for &v in &values[split..] {
+            right.push(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-4);
+        prop_assert_eq!(left.min(), whole.min());
+        prop_assert_eq!(left.max(), whole.max());
+    }
+
+    /// Zipf CDFs are monotone and the sampler respects rank ordering in
+    /// aggregate.
+    #[test]
+    fn zipf_rank_probabilities_decrease(n in 2..200usize, s_tenths in 1..25u32) {
+        let z = Zipf::new(n, s_tenths as f64 / 10.0);
+        for k in 1..n {
+            prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12, "rank {k}");
+        }
+        let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Rebinning a time series preserves its total for every factor.
+    #[test]
+    fn timeseries_rebin_conserves(
+        adds in proptest::collection::vec((0..1_440u64, 0.0f64..100.0), 0..200),
+        factor in 1..120usize,
+    ) {
+        let mut ts = TimeSeries::new(SimDuration::from_mins(1), SimDuration::from_days(1));
+        for &(m, v) in &adds {
+            ts.add(SimTime::from_mins(m), v);
+        }
+        let rebinned = ts.rebin(factor);
+        prop_assert!((rebinned.total() - ts.total()).abs() < 1e-6);
+    }
+
+    /// `index(n)` is always in range and every value is reachable.
+    #[test]
+    fn rng_index_in_range(seed in any::<u64>(), n in 1..50usize) {
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        let mut seen = vec![false; n];
+        for _ in 0..n * 200 {
+            let i = rng.index(n);
+            prop_assert!(i < n);
+            seen[i] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "not all values reachable");
+    }
+}

@@ -1,0 +1,584 @@
+//! The trigger monitor core: DB transaction → DUP → regenerate/invalidate
+//! → distribute.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use rustc_hash::FxHashSet;
+
+use nagano_cache::CacheFleet;
+use nagano_db::Transaction;
+use nagano_odg::{DupEngine, Interner, NodeId, StalenessPolicy};
+use nagano_pagegen::{PageKey, PageRegistry, RenderOutput, Renderer};
+
+use crate::policy::ConsistencyPolicy;
+use crate::stats::TriggerStats;
+
+/// Outcome of processing one transaction.
+#[derive(Debug, Clone, Default)]
+pub struct TxnOutcome {
+    /// Pages regenerated and distributed.
+    pub regenerated: Vec<PageKey>,
+    /// Pages invalidated.
+    pub invalidated: Vec<PageKey>,
+    /// Affected pages tolerated as slightly stale (threshold policy).
+    pub tolerated: Vec<PageKey>,
+    /// ODG nodes visited by the propagation.
+    pub visited: usize,
+    /// Wall-clock processing latency.
+    pub latency: std::time::Duration,
+}
+
+impl TxnOutcome {
+    /// Total pages affected by this transaction.
+    pub fn affected(&self) -> usize {
+        self.regenerated.len() + self.invalidated.len() + self.tolerated.len()
+    }
+}
+
+/// State shared behind one mutex: the graph and the name interner change
+/// together (registering a render adds names *and* edges), so a single
+/// lock avoids ordering bugs between them.
+struct GraphState {
+    dup: DupEngine,
+    names: Interner,
+}
+
+/// The trigger monitor.
+pub struct TriggerMonitor {
+    graph: Mutex<GraphState>,
+    renderer: Renderer,
+    fleet: Arc<CacheFleet>,
+    registry: Arc<PageRegistry>,
+    policy: ConsistencyPolicy,
+    stats: Arc<TriggerStats>,
+}
+
+impl TriggerMonitor {
+    /// Build a monitor. `renderer` reads the site database; `fleet` is the
+    /// set of serving caches updates are distributed to.
+    pub fn new(
+        renderer: Renderer,
+        fleet: Arc<CacheFleet>,
+        registry: Arc<PageRegistry>,
+        policy: ConsistencyPolicy,
+    ) -> Self {
+        TriggerMonitor {
+            graph: Mutex::new(GraphState {
+                dup: DupEngine::new(),
+                names: Interner::new(),
+            }),
+            renderer,
+            fleet,
+            registry,
+            policy,
+            stats: Arc::new(TriggerStats::default()),
+        }
+    }
+
+    /// Set the DUP staleness policy (threshold tolerance of
+    /// slightly-obsolete pages).
+    pub fn set_staleness_policy(&self, policy: StalenessPolicy) {
+        self.graph.lock().dup.set_policy(policy);
+    }
+
+    /// The consistency policy.
+    pub fn policy(&self) -> ConsistencyPolicy {
+        self.policy
+    }
+
+    /// Statistics handle.
+    pub fn stats(&self) -> Arc<TriggerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The serving cache fleet.
+    pub fn fleet(&self) -> &Arc<CacheFleet> {
+        &self.fleet
+    }
+
+    /// Number of (nodes, edges) currently in the ODG.
+    pub fn graph_size(&self) -> (usize, usize) {
+        let g = self.graph.lock();
+        (g.dup.graph().node_count(), g.dup.graph().edge_count())
+    }
+
+    /// Render every registered page once, distribute it to the fleet, and
+    /// register its dependencies — the prefetch pass that lets the site
+    /// start with a warm cache and a complete ODG. Static pages are
+    /// preloaded too: the production site served them from the filesystem
+    /// (i.e. the OS page cache); holding them in the serving cache is the
+    /// equivalent steady state.
+    ///
+    /// Returns the number of pages warmed.
+    pub fn prewarm(&self) -> usize {
+        let keys: Vec<PageKey> = self.registry.pages().iter().map(|(k, _)| *k).collect();
+        // Render in parallel (pure reads of the DB), then register and
+        // distribute sequentially — graph mutation is the cheap part.
+        let rendered: Vec<(PageKey, RenderOutput)> = keys
+            .par_iter()
+            .map(|&k| (k, self.renderer.render(k)))
+            .collect();
+        let n = rendered.len();
+        for (key, out) in rendered {
+            self.register_render(key, &out);
+            self.fleet.distribute(&key.to_url(), out.body, out.cost_ms);
+        }
+        n
+    }
+
+    /// Register a rendered page's dependencies in the ODG (idempotent;
+    /// re-registering after regeneration refreshes edges for pages whose
+    /// composition changed).
+    pub fn register_render(&self, key: PageKey, out: &RenderOutput) {
+        let mut g = self.graph.lock();
+        let object = g.names.intern(&key.object_key());
+        g.dup
+            .graph_mut()
+            .ensure_node(object, nagano_odg::NodeKind::Object);
+        for dep in &out.deps {
+            let data = g.names.intern(&dep.data_key);
+            g.dup
+                .add_dependency(data, object, dep.weight)
+                .expect("dependency registration");
+        }
+    }
+
+    /// Process one committed transaction.
+    pub fn process_txn(&self, txn: &Transaction) -> TxnOutcome {
+        self.process_batch(std::slice::from_ref(txn))
+    }
+
+    /// Process a batch of transactions with a **single** DUP propagation
+    /// over the union of their changed data.
+    ///
+    /// The production trigger monitor coalesced updates arriving close
+    /// together: a page affected by five transactions in one burst is
+    /// regenerated once, not five times. The `batching` ablation
+    /// quantifies the saving.
+    pub fn process_batch(&self, txns: &[impl std::borrow::Borrow<Transaction>]) -> TxnOutcome {
+        if txns.is_empty() {
+            return TxnOutcome::default();
+        }
+        let start = Instant::now();
+        let merged: Vec<&Transaction> = txns.iter().map(|t| t.borrow()).collect();
+        let outcome = match self.policy {
+            ConsistencyPolicy::Conservative96 => self.process_conservative(&merged),
+            _ => self.process_precise(&merged),
+        };
+        let latency = start.elapsed();
+        self.stats.record_txn(
+            outcome.regenerated.len() as u64,
+            outcome.invalidated.len() as u64,
+            outcome.tolerated.len() as u64,
+            outcome.visited as u64,
+            latency.as_micros() as u64,
+        );
+        TxnOutcome { latency, ..outcome }
+    }
+
+    fn process_precise(&self, txns: &[&Transaction]) -> TxnOutcome {
+        // Resolve changed data keys; unknown keys (no page ever depended
+        // on them) are skipped. Duplicates across the batch collapse in
+        // the propagation's per-node accumulation.
+        let (stale, tolerated, visited) = {
+            let mut g = self.graph.lock();
+            let changed: Vec<NodeId> = txns
+                .iter()
+                .flat_map(|t| t.changes.iter())
+                .filter_map(|c| g.names.get(&c.data_key))
+                .collect();
+            let prop = g.dup.propagate_ids(&changed);
+            let to_pages = |pairs: &[(NodeId, f64)], g: &GraphState| -> Vec<PageKey> {
+                pairs
+                    .iter()
+                    .filter_map(|&(id, _)| {
+                        g.names
+                            .name(id)
+                            .and_then(|n| n.strip_prefix("page:"))
+                            .and_then(PageKey::parse)
+                    })
+                    .collect()
+            };
+            (
+                to_pages(&prop.stale, &g),
+                to_pages(&prop.tolerated, &g),
+                prop.visited,
+            )
+        };
+
+        match self.policy {
+            ConsistencyPolicy::UpdateInPlace => {
+                // Regenerate in parallel; rendering only reads the DB.
+                let rendered: Vec<(PageKey, RenderOutput)> = stale
+                    .par_iter()
+                    .map(|&k| (k, self.renderer.render(k)))
+                    .collect();
+                let mut regenerated = Vec::with_capacity(rendered.len());
+                for (key, out) in rendered {
+                    self.register_render(key, &out);
+                    self.fleet.distribute(&key.to_url(), out.body, out.cost_ms);
+                    regenerated.push(key);
+                }
+                TxnOutcome {
+                    regenerated,
+                    tolerated,
+                    visited,
+                    ..Default::default()
+                }
+            }
+            ConsistencyPolicy::Invalidate => {
+                for key in &stale {
+                    self.fleet.invalidate_everywhere(&key.to_url());
+                }
+                TxnOutcome {
+                    invalidated: stale,
+                    tolerated,
+                    visited,
+                    ..Default::default()
+                }
+            }
+            ConsistencyPolicy::Conservative96 => unreachable!("handled by caller"),
+        }
+    }
+
+    /// The 1996 baseline: find which *content sections* the change touches
+    /// (via the same propagation, used only as a section oracle) and
+    /// invalidate every dynamic page in those sections.
+    fn process_conservative(&self, txns: &[&Transaction]) -> TxnOutcome {
+        let (affected_pages, visited) = {
+            let mut g = self.graph.lock();
+            let changed: Vec<NodeId> = txns
+                .iter()
+                .flat_map(|t| t.changes.iter())
+                .filter_map(|c| g.names.get(&c.data_key))
+                .collect();
+            let prop = g.dup.propagate_ids(&changed);
+            let pages: Vec<PageKey> = prop
+                .stale
+                .iter()
+                .chain(prop.tolerated.iter())
+                .filter_map(|&(id, _)| {
+                    g.names
+                        .name(id)
+                        .and_then(|n| n.strip_prefix("page:"))
+                        .and_then(PageKey::parse)
+                })
+                .collect();
+            (pages, prop.visited)
+        };
+        let sections: FxHashSet<&'static str> =
+            affected_pages.iter().map(|k| k.category()).collect();
+        let mut invalidated = Vec::new();
+        for (key, meta) in self.registry.pages() {
+            if meta.dynamic && sections.contains(key.category()) {
+                self.fleet.invalidate_everywhere(&key.to_url());
+                invalidated.push(*key);
+            }
+        }
+        TxnOutcome {
+            invalidated,
+            visited,
+            ..Default::default()
+        }
+    }
+
+    /// Retire a page: drop it from every serving cache and remove its
+    /// object vertex (with all incident edges) from the ODG, so future
+    /// propagations no longer touch it. The production site retired
+    /// CBS-feed fragments and per-day pages after the Games; "ODGs are
+    /// constantly changing" covers removal as much as addition.
+    ///
+    /// Returns whether the page was known to the graph.
+    pub fn retire_page(&self, key: PageKey) -> bool {
+        self.fleet.invalidate_everywhere(&key.to_url());
+        let mut g = self.graph.lock();
+        match g.names.get(&key.object_key()) {
+            Some(id) => g.dup.graph_mut().remove_node(id).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Demand-miss path used by server programs: render `key`, register
+    /// its dependencies, and fill **one** serving cache (the node that
+    /// took the miss). Returns the rendered output.
+    pub fn demand_fill(&self, node: usize, key: PageKey) -> RenderOutput {
+        let out = self.renderer.render(key);
+        self.register_render(key, &out);
+        self.fleet
+            .put_local(node, &key.to_url(), out.body.clone(), out.cost_ms);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nagano_cache::CacheConfig;
+    use nagano_db::{seed_games, AthleteId, GamesConfig, OlympicDb};
+
+    fn setup(policy: ConsistencyPolicy) -> (Arc<OlympicDb>, TriggerMonitor) {
+        let db = Arc::new(OlympicDb::new());
+        seed_games(&db, &GamesConfig::small());
+        let registry = Arc::new(PageRegistry::build(&db, 16));
+        let fleet = Arc::new(CacheFleet::new(2, CacheConfig::default()));
+        let monitor = TriggerMonitor::new(
+            Renderer::new(Arc::clone(&db)),
+            fleet,
+            registry,
+            policy,
+        );
+        (db, monitor)
+    }
+
+    fn podium(db: &OlympicDb, event: nagano_db::EventId) -> Vec<(AthleteId, f64)> {
+        let ev = db.event(event).unwrap();
+        db.athletes_of_sport(ev.sport)
+            .iter()
+            .take(5)
+            .enumerate()
+            .map(|(i, a)| (a.id, 100.0 - i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn prewarm_fills_every_dynamic_page_and_builds_the_graph() {
+        let (_db, monitor) = setup(ConsistencyPolicy::UpdateInPlace);
+        let warmed = monitor.prewarm();
+        assert!(warmed > 50);
+        let fleet = monitor.fleet();
+        assert_eq!(fleet.member(0).len(), warmed);
+        assert_eq!(fleet.member(1).len(), warmed);
+        let (nodes, edges) = monitor.graph_size();
+        assert!(nodes > warmed, "graph has data + object nodes");
+        assert!(edges > 0);
+    }
+
+    #[test]
+    fn update_in_place_regenerates_affected_pages() {
+        let (db, monitor) = setup(ConsistencyPolicy::UpdateInPlace);
+        monitor.prewarm();
+        let ev = db.events()[0].clone();
+        let url = PageKey::Event(ev.id).to_url();
+        let before = monitor.fleet().member(0).peek(&url).unwrap();
+        let txn = db.record_results(ev.id, &podium(&db, ev.id), true, ev.day);
+        let outcome = monitor.process_txn(&txn);
+        assert!(outcome.regenerated.contains(&PageKey::Event(ev.id)));
+        assert!(outcome
+            .regenerated
+            .contains(&PageKey::Fragment(nagano_pagegen::FragmentKey::ResultTable(ev.id))));
+        assert!(outcome.regenerated.contains(&PageKey::Medals));
+        assert!(outcome.regenerated.contains(&PageKey::Home(ev.day)));
+        assert!(outcome.invalidated.is_empty());
+        // Cache entry was replaced in place with new content, not dropped.
+        let after = monitor.fleet().member(0).peek(&url).unwrap();
+        assert!(after.version > before.version);
+        assert_ne!(after.body, before.body);
+        // Both fleet members updated.
+        let after1 = monitor.fleet().member(1).peek(&url).unwrap();
+        assert_eq!(after1.body, after.body);
+    }
+
+    #[test]
+    fn results_fan_out_to_athlete_and_country_pages() {
+        let (db, monitor) = setup(ConsistencyPolicy::UpdateInPlace);
+        monitor.prewarm();
+        let ev = db.events()[0].clone();
+        let placements = podium(&db, ev.id);
+        let txn = db.record_results(ev.id, &placements, true, ev.day);
+        let outcome = monitor.process_txn(&txn);
+        // Every placed athlete's page regenerates; so do their countries'.
+        for (a, _) in &placements {
+            assert!(
+                outcome.regenerated.contains(&PageKey::Athlete(*a)),
+                "athlete {a:?} not regenerated"
+            );
+        }
+        let country = db.athlete(placements[0].0).unwrap().country;
+        assert!(outcome.regenerated.contains(&PageKey::Country(country)));
+        // The update affects tens of pages — the paper's "one typical
+        // update ... affected 128 pages" effect at small scale.
+        assert!(outcome.affected() >= 10, "affected {}", outcome.affected());
+    }
+
+    #[test]
+    fn invalidate_policy_drops_pages() {
+        let (db, monitor) = setup(ConsistencyPolicy::Invalidate);
+        monitor.prewarm();
+        let ev = db.events()[0].clone();
+        let url = PageKey::Event(ev.id).to_url();
+        assert!(monitor.fleet().member(0).peek(&url).is_some());
+        let txn = db.record_results(ev.id, &podium(&db, ev.id), true, ev.day);
+        let outcome = monitor.process_txn(&txn);
+        assert!(outcome.regenerated.is_empty());
+        assert!(outcome.invalidated.contains(&PageKey::Event(ev.id)));
+        assert!(monitor.fleet().member(0).peek(&url).is_none());
+        assert!(monitor.fleet().member(1).peek(&url).is_none());
+    }
+
+    #[test]
+    fn conservative_invalidates_whole_sections() {
+        let (db, monitor) = setup(ConsistencyPolicy::Conservative96);
+        monitor.prewarm();
+        let ev = db.events()[0].clone();
+        let txn = db.record_results(ev.id, &podium(&db, ev.id), true, ev.day);
+        let precise = {
+            // For comparison: what precise DUP would have touched.
+            let (db2, m2) = setup(ConsistencyPolicy::UpdateInPlace);
+            m2.prewarm();
+            let ev2 = db2.events()[0].clone();
+            let txn2 = db2.record_results(ev2.id, &podium(&db2, ev2.id), true, ev2.day);
+            m2.process_txn(&txn2).affected()
+        };
+        let outcome = monitor.process_txn(&txn);
+        assert!(
+            outcome.invalidated.len() > precise * 2,
+            "conservative {} vs precise {}",
+            outcome.invalidated.len(),
+            precise
+        );
+        // Every Sports-section page is gone, touched or not.
+        let untouched_event = db.events().last().unwrap().id;
+        assert!(monitor
+            .fleet()
+            .member(0)
+            .peek(&PageKey::Event(untouched_event).to_url())
+            .is_none());
+    }
+
+    #[test]
+    fn changes_to_unknown_data_are_noops() {
+        let (db, monitor) = setup(ConsistencyPolicy::UpdateInPlace);
+        monitor.prewarm();
+        // A photo nobody depends on yet.
+        let txn = db.add_photo(nagano_db::Photo {
+            id: nagano_db::PhotoId(999),
+            day: 1,
+            about_event: None,
+            bytes: 1000,
+        });
+        let outcome = monitor.process_txn(&txn);
+        assert_eq!(outcome.affected(), 0);
+    }
+
+    #[test]
+    fn demand_fill_is_local_and_registers_deps() {
+        let (db, monitor) = setup(ConsistencyPolicy::Invalidate);
+        let key = PageKey::Event(db.events()[0].id);
+        monitor.demand_fill(0, key);
+        assert!(monitor.fleet().member(0).peek(&key.to_url()).is_some());
+        assert!(monitor.fleet().member(1).peek(&key.to_url()).is_none());
+        let (nodes, edges) = monitor.graph_size();
+        assert!(nodes >= 2 && edges >= 1);
+    }
+
+    #[test]
+    fn retired_pages_leave_the_graph_and_caches() {
+        let (db, monitor) = setup(ConsistencyPolicy::UpdateInPlace);
+        monitor.prewarm();
+        let ev = db.events()[0].clone();
+        let key = PageKey::Event(ev.id);
+        let (nodes_before, edges_before) = monitor.graph_size();
+        assert!(monitor.retire_page(key));
+        assert!(monitor.fleet().member(0).peek(&key.to_url()).is_none());
+        let (nodes_after, edges_after) = monitor.graph_size();
+        assert_eq!(nodes_after, nodes_before - 1);
+        assert!(edges_after < edges_before);
+        // Future updates no longer regenerate the retired page.
+        let txn = db.record_results(ev.id, &podium(&db, ev.id), true, ev.day);
+        let outcome = monitor.process_txn(&txn);
+        assert!(!outcome.regenerated.contains(&key));
+        assert!(monitor.fleet().member(0).peek(&key.to_url()).is_none());
+        // Other affected pages still regenerate.
+        assert!(outcome.regenerated.contains(&PageKey::Medals));
+        // Retiring again (or an unknown page) reports false.
+        assert!(!monitor.retire_page(key));
+        // A retired page can come back via a demand fill, which re-links
+        // its dependencies.
+        monitor.demand_fill(0, key);
+        assert!(monitor.fleet().member(0).peek(&key.to_url()).is_some());
+        let txn = db.record_results(ev.id, &podium(&db, ev.id), false, ev.day);
+        let outcome = monitor.process_txn(&txn);
+        assert!(outcome.regenerated.contains(&key), "re-registered after refill");
+    }
+
+    #[test]
+    fn stats_accumulate_over_txns() {
+        let (db, monitor) = setup(ConsistencyPolicy::UpdateInPlace);
+        monitor.prewarm();
+        let ev = db.events()[0].clone();
+        for i in 0..3 {
+            let txn = db.record_results(ev.id, &podium(&db, ev.id), i == 2, ev.day);
+            monitor.process_txn(&txn);
+        }
+        let s = monitor.stats().snapshot();
+        assert_eq!(s.txns, 3);
+        assert!(s.pages_regenerated > 0);
+        assert!(s.nodes_visited > 0);
+        assert!(s.latency_count == 3);
+        assert!(s.max_latency_ms() >= s.mean_latency_ms());
+    }
+
+    #[test]
+    fn batch_processing_coalesces_regeneration() {
+        let (db, monitor) = setup(ConsistencyPolicy::UpdateInPlace);
+        monitor.prewarm();
+        let ev = db.events()[0].clone();
+        // Three bursts of results for the same event.
+        let txns: Vec<_> = (0..3)
+            .map(|i| db.record_results(ev.id, &podium(&db, ev.id), i == 2, ev.day))
+            .collect();
+        let batch = monitor.process_batch(&txns);
+        // One propagation: the event page appears exactly once.
+        let event_count = batch
+            .regenerated
+            .iter()
+            .filter(|&&k| k == PageKey::Event(ev.id))
+            .count();
+        assert_eq!(event_count, 1);
+        assert_eq!(monitor.stats().snapshot().txns, 1, "one batched record");
+
+        // Processing the same bursts individually regenerates at least as
+        // many pages in total.
+        let (db2, monitor2) = setup(ConsistencyPolicy::UpdateInPlace);
+        monitor2.prewarm();
+        let ev2 = db2.events()[0].clone();
+        let mut individual = 0;
+        for i in 0..3 {
+            let txn = db2.record_results(ev2.id, &podium(&db2, ev2.id), i == 2, ev2.day);
+            individual += monitor2.process_txn(&txn).regenerated.len();
+        }
+        assert!(
+            individual >= batch.regenerated.len(),
+            "batch {} vs individual {individual}",
+            batch.regenerated.len()
+        );
+        // Empty batch is a no-op.
+        let empty: Vec<Arc<nagano_db::Transaction>> = Vec::new();
+        assert_eq!(monitor.process_batch(&empty).affected(), 0);
+    }
+
+    #[test]
+    fn threshold_staleness_tolerates_soft_dependencies() {
+        let (db, monitor) = setup(ConsistencyPolicy::UpdateInPlace);
+        monitor.prewarm();
+        // Tolerate anything accumulating less than 0.5: country pages'
+        // medal-box dependency is weighted 0.25.
+        monitor.set_staleness_policy(StalenessPolicy::Threshold(0.5));
+        let ev = db.events()[0].clone();
+        let txn = db.record_results(ev.id, &podium(&db, ev.id), true, ev.day);
+        let outcome = monitor.process_txn(&txn);
+        assert!(
+            !outcome.tolerated.is_empty(),
+            "some pages should be tolerated as slightly stale"
+        );
+        // Directly-hit pages still regenerate.
+        assert!(outcome.regenerated.contains(&PageKey::Event(ev.id)));
+        // Tolerated pages were *not* regenerated.
+        for t in &outcome.tolerated {
+            assert!(!outcome.regenerated.contains(t));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Cache consistency policies.
+
+/// What the trigger monitor does with pages DUP reports stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ConsistencyPolicy {
+    /// Regenerate stale pages immediately and update them in place in
+    /// every serving cache — the 1998 production policy. Hot pages are
+    /// never invalidated, so they never miss.
+    #[default]
+    UpdateInPlace,
+    /// Invalidate exactly the stale pages (precise DUP); the next request
+    /// pays the regeneration cost.
+    Invalidate,
+    /// The 1996 baseline: no precise dependence information, so entire
+    /// content sections are invalidated on any change that touches them.
+    /// Preserves consistency but causes high post-update miss rates
+    /// (~80% overall hit rate at the 1996 site).
+    Conservative96,
+}
+
+impl ConsistencyPolicy {
+    /// Short identifier used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConsistencyPolicy::UpdateInPlace => "dup-update-in-place",
+            ConsistencyPolicy::Invalidate => "dup-invalidate",
+            ConsistencyPolicy::Conservative96 => "conservative-96",
+        }
+    }
+
+    /// Whether the policy needs DUP's precise affected set.
+    pub fn needs_precise_dup(self) -> bool {
+        !matches!(self, ConsistencyPolicy::Conservative96)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        use std::collections::HashSet;
+        let labels: HashSet<&str> = [
+            ConsistencyPolicy::UpdateInPlace,
+            ConsistencyPolicy::Invalidate,
+            ConsistencyPolicy::Conservative96,
+        ]
+        .into_iter()
+        .map(|p| p.label())
+        .collect();
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn default_is_the_1998_policy() {
+        assert_eq!(ConsistencyPolicy::default(), ConsistencyPolicy::UpdateInPlace);
+        assert!(ConsistencyPolicy::UpdateInPlace.needs_precise_dup());
+        assert!(!ConsistencyPolicy::Conservative96.needs_precise_dup());
+    }
+}

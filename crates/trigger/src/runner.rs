@@ -1,0 +1,208 @@
+//! Background runner: drives a [`TriggerMonitor`] from a transaction
+//! subscription on its own thread, the way the production monitor ran on
+//! each SP2's SMP node.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use nagano_db::Transaction;
+
+use crate::monitor::TriggerMonitor;
+
+/// Handle to a running background trigger monitor.
+pub struct TriggerRunner {
+    handle: Option<JoinHandle<u64>>,
+    stop: crossbeam::channel::Sender<()>,
+}
+
+impl TriggerRunner {
+    /// Spawn a thread consuming `rx` and feeding `monitor`, one
+    /// transaction at a time. The thread exits when the runner is
+    /// stopped/dropped or the sender side of `rx` disconnects.
+    pub fn spawn(monitor: Arc<TriggerMonitor>, rx: Receiver<Arc<Transaction>>) -> Self {
+        Self::spawn_inner(monitor, rx, false)
+    }
+
+    /// Spawn a **coalescing** runner: everything queued when the thread
+    /// wakes is processed as one batch with a single DUP propagation — a
+    /// page touched by five updates in a burst is regenerated once. This
+    /// is how the production monitor absorbed result bursts.
+    pub fn spawn_coalescing(monitor: Arc<TriggerMonitor>, rx: Receiver<Arc<Transaction>>) -> Self {
+        Self::spawn_inner(monitor, rx, true)
+    }
+
+    fn spawn_inner(
+        monitor: Arc<TriggerMonitor>,
+        rx: Receiver<Arc<Transaction>>,
+        coalesce: bool,
+    ) -> Self {
+        let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
+        let handle = std::thread::Builder::new()
+            .name("trigger-monitor".into())
+            .spawn(move || {
+                let mut processed = 0u64;
+                let mut batch: Vec<Arc<Transaction>> = Vec::new();
+                loop {
+                    if stop_rx.try_recv().is_ok() {
+                        // Drain whatever is already queued, then exit.
+                        while let Ok(txn) = rx.try_recv() {
+                            batch.push(txn);
+                        }
+                        processed += flush(&monitor, &mut batch, coalesce);
+                        return processed;
+                    }
+                    match rx.recv_timeout(Duration::from_millis(10)) {
+                        Ok(txn) => {
+                            batch.push(txn);
+                            // Grab anything else already waiting.
+                            while let Ok(more) = rx.try_recv() {
+                                batch.push(more);
+                            }
+                            processed += flush(&monitor, &mut batch, coalesce);
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => {
+                            processed += flush(&monitor, &mut batch, coalesce);
+                            return processed;
+                        }
+                    }
+                }
+            })
+            .expect("spawn trigger monitor thread");
+        TriggerRunner {
+            handle: Some(handle),
+            stop: stop_tx,
+        }
+    }
+
+    /// Stop the thread after it drains pending transactions; returns the
+    /// number processed over its lifetime.
+    pub fn stop(mut self) -> u64 {
+        let _ = self.stop.send(());
+        self.handle
+            .take()
+            .map(|h| h.join().unwrap_or(0))
+            .unwrap_or(0)
+    }
+}
+
+fn flush(monitor: &TriggerMonitor, batch: &mut Vec<Arc<Transaction>>, coalesce: bool) -> u64 {
+    if batch.is_empty() {
+        return 0;
+    }
+    let n = batch.len() as u64;
+    if coalesce {
+        monitor.process_batch(batch);
+    } else {
+        for txn in batch.iter() {
+            monitor.process_txn(txn);
+        }
+    }
+    batch.clear();
+    n
+}
+
+impl Drop for TriggerRunner {
+    fn drop(&mut self) {
+        let _ = self.stop.send(());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ConsistencyPolicy;
+    use nagano_cache::{CacheConfig, CacheFleet};
+    use nagano_db::{seed_games, GamesConfig, OlympicDb};
+    use nagano_pagegen::{PageKey, PageRegistry, Renderer};
+
+    #[test]
+    fn runner_processes_live_transactions() {
+        let db = Arc::new(OlympicDb::new());
+        seed_games(&db, &GamesConfig::small());
+        let registry = Arc::new(PageRegistry::build(&db, 16));
+        let fleet = Arc::new(CacheFleet::new(1, CacheConfig::default()));
+        let monitor = Arc::new(TriggerMonitor::new(
+            Renderer::new(Arc::clone(&db)),
+            Arc::clone(&fleet),
+            registry,
+            ConsistencyPolicy::UpdateInPlace,
+        ));
+        monitor.prewarm();
+        let rx = db.subscribe();
+        let runner = TriggerRunner::spawn(Arc::clone(&monitor), rx);
+
+        let ev = db.events()[0].clone();
+        let athletes = db.athletes_of_sport(ev.sport);
+        let url = PageKey::Event(ev.id).to_url();
+        let v0 = fleet.member(0).peek(&url).unwrap().version;
+        for _ in 0..3 {
+            db.record_results(ev.id, &[(athletes[0].id, 50.0)], false, ev.day);
+        }
+        let processed = runner.stop();
+        assert_eq!(processed, 3);
+        let v1 = fleet.member(0).peek(&url).unwrap().version;
+        assert!(v1 >= v0 + 3, "v0 {v0} v1 {v1}");
+        assert_eq!(monitor.stats().snapshot().txns, 3);
+    }
+
+    #[test]
+    fn coalescing_runner_batches_bursts() {
+        let db = Arc::new(OlympicDb::new());
+        seed_games(&db, &GamesConfig::small());
+        let registry = Arc::new(PageRegistry::build(&db, 16));
+        let fleet = Arc::new(CacheFleet::new(1, CacheConfig::default()));
+        let monitor = Arc::new(TriggerMonitor::new(
+            Renderer::new(Arc::clone(&db)),
+            Arc::clone(&fleet),
+            registry,
+            ConsistencyPolicy::UpdateInPlace,
+        ));
+        monitor.prewarm();
+        let rx = db.subscribe();
+        // Commit the burst BEFORE the runner starts so it wakes to a full
+        // queue and coalesces everything into one propagation.
+        let ev = db.events()[0].clone();
+        let athletes = db.athletes_of_sport(ev.sport);
+        for _ in 0..5 {
+            db.record_results(ev.id, &[(athletes[0].id, 50.0)], false, ev.day);
+        }
+        let runner = TriggerRunner::spawn_coalescing(Arc::clone(&monitor), rx);
+        let processed = runner.stop();
+        assert_eq!(processed, 5, "all five transactions consumed");
+        let s = monitor.stats().snapshot();
+        assert!(
+            s.txns <= 2,
+            "expected coalesced batches, got {} propagation(s)",
+            s.txns
+        );
+        // Content is fresh regardless of batching.
+        let url = PageKey::Event(ev.id).to_url();
+        let body = fleet.member(0).peek(&url).unwrap().body;
+        let html = String::from_utf8(body.to_vec()).unwrap();
+        assert!(html.contains(&athletes[0].name));
+    }
+
+    #[test]
+    fn runner_exits_on_disconnect() {
+        let db = Arc::new(OlympicDb::new());
+        seed_games(&db, &GamesConfig::small());
+        let registry = Arc::new(PageRegistry::build(&db, 16));
+        let fleet = Arc::new(CacheFleet::new(1, CacheConfig::default()));
+        let monitor = Arc::new(TriggerMonitor::new(
+            Renderer::new(Arc::clone(&db)),
+            fleet,
+            registry,
+            ConsistencyPolicy::Invalidate,
+        ));
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let runner = TriggerRunner::spawn(monitor, rx);
+        drop(tx); // disconnect; thread must exit on its own
+        assert_eq!(runner.stop(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Trigger-monitor statistics: counters plus a freshness accumulator
+//! (wall-clock latency from transaction receipt to all caches updated).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use parking_lot::Mutex;
+
+/// Shared counters for one trigger monitor.
+#[derive(Debug, Default)]
+pub struct TriggerStats {
+    txns: AtomicU64,
+    pages_regenerated: AtomicU64,
+    pages_invalidated: AtomicU64,
+    pages_tolerated: AtomicU64,
+    nodes_visited: AtomicU64,
+    latency: Mutex<LatencyAcc>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct LatencyAcc {
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+/// Point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TriggerStatsSnapshot {
+    /// Transactions processed.
+    pub txns: u64,
+    /// Pages regenerated and distributed (update-in-place path).
+    pub pages_regenerated: u64,
+    /// Pages invalidated.
+    pub pages_invalidated: u64,
+    /// Affected pages left in place under a staleness threshold.
+    pub pages_tolerated: u64,
+    /// ODG nodes visited by propagation (work metric).
+    pub nodes_visited: u64,
+    /// Freshness samples recorded.
+    pub latency_count: u64,
+    /// Total processing latency in microseconds.
+    pub latency_total_us: u64,
+    /// Worst-case processing latency in microseconds.
+    pub latency_max_us: u64,
+}
+
+impl TriggerStatsSnapshot {
+    /// Mean processing latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.latency_count == 0 {
+            0.0
+        } else {
+            self.latency_total_us as f64 / self.latency_count as f64 / 1_000.0
+        }
+    }
+
+    /// Worst processing latency in milliseconds.
+    pub fn max_latency_ms(&self) -> f64 {
+        self.latency_max_us as f64 / 1_000.0
+    }
+}
+
+impl TriggerStats {
+    /// Record one processed transaction with its outcome sizes and
+    /// processing latency.
+    pub fn record_txn(
+        &self,
+        regenerated: u64,
+        invalidated: u64,
+        tolerated: u64,
+        visited: u64,
+        latency_us: u64,
+    ) {
+        self.txns.fetch_add(1, Relaxed);
+        self.pages_regenerated.fetch_add(regenerated, Relaxed);
+        self.pages_invalidated.fetch_add(invalidated, Relaxed);
+        self.pages_tolerated.fetch_add(tolerated, Relaxed);
+        self.nodes_visited.fetch_add(visited, Relaxed);
+        let mut l = self.latency.lock();
+        l.count += 1;
+        l.total_us += latency_us;
+        l.max_us = l.max_us.max(latency_us);
+    }
+
+    /// Copy the counters.
+    pub fn snapshot(&self) -> TriggerStatsSnapshot {
+        let l = *self.latency.lock();
+        TriggerStatsSnapshot {
+            txns: self.txns.load(Relaxed),
+            pages_regenerated: self.pages_regenerated.load(Relaxed),
+            pages_invalidated: self.pages_invalidated.load(Relaxed),
+            pages_tolerated: self.pages_tolerated.load(Relaxed),
+            nodes_visited: self.nodes_visited.load(Relaxed),
+            latency_count: l.count,
+            latency_total_us: l.total_us,
+            latency_max_us: l.max_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let s = TriggerStats::default();
+        s.record_txn(10, 2, 1, 40, 1_500);
+        s.record_txn(5, 0, 0, 20, 500);
+        let snap = s.snapshot();
+        assert_eq!(snap.txns, 2);
+        assert_eq!(snap.pages_regenerated, 15);
+        assert_eq!(snap.pages_invalidated, 2);
+        assert_eq!(snap.pages_tolerated, 1);
+        assert_eq!(snap.nodes_visited, 60);
+        assert_eq!(snap.latency_count, 2);
+        assert!((snap.mean_latency_ms() - 1.0).abs() < 1e-9);
+        assert!((snap.max_latency_ms() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_latency_is_zero() {
+        let s = TriggerStats::default();
+        assert_eq!(s.snapshot().mean_latency_ms(), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Day-by-day request volumes across the Games (Figure 20).
+//!
+//! Calibrated to the paper: 634.7M requests over 16 days, peaking at
+//! 56.8M on Day 7 (Friday, Feb 13), with a secondary swell around the
+//! Day-10 ski-jumping and Day-14 figure-skating marquees and a tail-off
+//! after the closing weekend.
+
+/// Daily request totals in millions, paper scale.
+#[derive(Debug, Clone)]
+pub struct GamesCalendar {
+    day_millions: Vec<f64>,
+}
+
+impl Default for GamesCalendar {
+    fn default() -> Self {
+        Self::nagano()
+    }
+}
+
+impl GamesCalendar {
+    /// The Nagano 1998 calibration.
+    pub fn nagano() -> Self {
+        GamesCalendar {
+            day_millions: vec![
+                22.0, 27.0, 32.0, 36.0, 42.0, 48.0, 56.8, 50.0, 44.0, 48.0, 40.0, 38.0, 42.0,
+                47.0, 36.0, 25.9,
+            ],
+        }
+    }
+
+    /// Uniform calendar (for tests/ablation).
+    pub fn uniform(days: u32, millions_per_day: f64) -> Self {
+        GamesCalendar {
+            day_millions: vec![millions_per_day; days as usize],
+        }
+    }
+
+    /// Number of days.
+    pub fn days(&self) -> u32 {
+        self.day_millions.len() as u32
+    }
+
+    /// Requests (millions) on 1-based `day`; 0 outside the Games.
+    pub fn day_millions(&self, day: u32) -> f64 {
+        if day == 0 {
+            return 0.0;
+        }
+        self.day_millions
+            .get(day as usize - 1)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Total over the Games, millions.
+    pub fn total_millions(&self) -> f64 {
+        self.day_millions.iter().sum()
+    }
+
+    /// The (1-based) peak day and its volume.
+    pub fn peak_day(&self) -> (u32, f64) {
+        self.day_millions
+            .iter()
+            .copied()
+            .enumerate()
+            .fold((1, 0.0), |best, (i, v)| {
+                if v > best.1 {
+                    (i as u32 + 1, v)
+                } else {
+                    best
+                }
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_the_paper() {
+        let c = GamesCalendar::nagano();
+        assert_eq!(c.days(), 16);
+        assert!((c.total_millions() - 634.7).abs() < 0.1, "{}", c.total_millions());
+        let (day, peak) = c.peak_day();
+        assert_eq!(day, 7);
+        assert!((peak - 56.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_1998_day_out_draws_the_1996_peak() {
+        // §5: the 1996 site peaked at 17M/day, "fewer than any day for the
+        // 1998 Olympic Games".
+        let c = GamesCalendar::nagano();
+        for day in 1..=16 {
+            assert!(c.day_millions(day) > 17.0, "day {day}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_days_are_zero() {
+        let c = GamesCalendar::nagano();
+        assert_eq!(c.day_millions(0), 0.0);
+        assert_eq!(c.day_millions(17), 0.0);
+    }
+
+    #[test]
+    fn uniform_calendar() {
+        let c = GamesCalendar::uniform(4, 10.0);
+        assert_eq!(c.days(), 4);
+        assert_eq!(c.total_millions(), 40.0);
+        assert_eq!(c.peak_day().0, 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Hour-of-day activity shapes (Figure 18).
+//!
+//! Each region browses mostly during its local daytime and evening; the
+//! Games ran on Japan time, so the US sites saw their load maxima many
+//! hours after results were posted. The shape below is the classic
+//! two-hump web-traffic curve: a daytime plateau, a lunch bump, and an
+//! evening peak, with a deep overnight trough.
+
+use crate::geo::Region;
+use nagano_simcore::SimTime;
+
+/// Relative activity by local hour, normalised to mean 1.0 over 24h.
+#[derive(Debug, Clone)]
+pub struct DiurnalShape {
+    weights: [f64; 24],
+}
+
+impl Default for DiurnalShape {
+    fn default() -> Self {
+        Self::web_1998()
+    }
+}
+
+impl DiurnalShape {
+    /// The 1998 consumer-web shape: office hours + evening modem peak.
+    pub fn web_1998() -> Self {
+        // Raw per-local-hour activity levels (arbitrary units).
+        let raw: [f64; 24] = [
+            0.35, 0.25, 0.18, 0.14, 0.12, 0.15, // 00-05: overnight trough
+            0.25, 0.45, 0.80, 1.10, 1.25, 1.30, // 06-11: morning ramp
+            1.40, 1.30, 1.25, 1.30, 1.35, 1.45, // 12-17: day plateau
+            1.60, 1.85, 2.00, 1.80, 1.20, 0.65, // 18-23: evening peak
+        ];
+        Self::from_raw(raw)
+    }
+
+    /// Build from raw hour levels (normalised to mean 1).
+    pub fn from_raw(raw: [f64; 24]) -> Self {
+        let mean: f64 = raw.iter().sum::<f64>() / 24.0;
+        assert!(mean > 0.0);
+        let mut weights = raw;
+        for w in &mut weights {
+            assert!(*w >= 0.0);
+            *w /= mean;
+        }
+        DiurnalShape { weights }
+    }
+
+    /// Multiplier for a *local* hour.
+    pub fn at_local_hour(&self, hour: u32) -> f64 {
+        self.weights[(hour % 24) as usize]
+    }
+
+    /// Multiplier for a region at simulation (Japan) time, linearly
+    /// interpolated between hours so rates are continuous.
+    pub fn multiplier(&self, region: Region, t: SimTime) -> f64 {
+        let offset = region.utc_offset_from_japan();
+        let local_min =
+            (t.minute_of_day() as i64 + offset as i64 * 60).rem_euclid(24 * 60) as u32;
+        let h0 = local_min / 60;
+        let frac = (local_min % 60) as f64 / 60.0;
+        let a = self.at_local_hour(h0);
+        let b = self.at_local_hour((h0 + 1) % 24);
+        a + (b - a) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalised_to_mean_one() {
+        let s = DiurnalShape::web_1998();
+        let mean: f64 = (0..24).map(|h| s.at_local_hour(h)).sum::<f64>() / 24.0;
+        assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evening_peak_exceeds_overnight_trough() {
+        let s = DiurnalShape::web_1998();
+        assert!(s.at_local_hour(20) > 3.0 * s.at_local_hour(4));
+    }
+
+    #[test]
+    fn japan_peak_is_japan_evening() {
+        let s = DiurnalShape::web_1998();
+        // 20:00 Japan time — simulation clock is Japan local.
+        let evening = s.multiplier(Region::Japan, SimTime::at(1, 20, 0));
+        let night = s.multiplier(Region::Japan, SimTime::at(1, 4, 0));
+        assert!(evening > night * 3.0);
+    }
+
+    #[test]
+    fn us_peak_is_shifted() {
+        let s = DiurnalShape::web_1998();
+        // 20:00 US-East local = 10:00 Japan time next day.
+        let us_evening = s.multiplier(Region::UsEast, SimTime::at(1, 10, 0));
+        let us_overnight = s.multiplier(Region::UsEast, SimTime::at(1, 18, 0)); // 04:00 EST
+        assert!(us_evening > us_overnight * 2.5, "{us_evening} vs {us_overnight}");
+    }
+
+    #[test]
+    fn interpolation_is_continuous() {
+        let s = DiurnalShape::web_1998();
+        let a = s.multiplier(Region::Japan, SimTime::at(1, 11, 59));
+        let b = s.multiplier(Region::Japan, SimTime::at(1, 12, 0));
+        assert!((a - b).abs() < 0.05, "{a} vs {b}");
+    }
+
+    #[test]
+    fn from_raw_rejects_zero_mean() {
+        let result = std::panic::catch_unwind(|| DiurnalShape::from_raw([0.0; 24]));
+        assert!(result.is_err());
+    }
+}

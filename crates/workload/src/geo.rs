@@ -1,0 +1,162 @@
+//! Client regions and the geographic request mix (Figure 23).
+
+use nagano_simcore::DeterministicRng;
+use serde::{Deserialize, Serialize};
+
+/// Where a client request originates. Granularity matches the paper's
+/// serving geography: four complexes (Schaumburg, Columbus, Bethesda,
+/// Tokyo) serving these catchments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// United States & Canada, eastern half.
+    UsEast,
+    /// United States & Canada, central/western.
+    UsWest,
+    /// Japan.
+    Japan,
+    /// Europe (the paper measured UK ISPs).
+    Europe,
+    /// Australia / Oceania.
+    Oceania,
+    /// Rest of Asia and elsewhere.
+    RestOfWorld,
+}
+
+impl Region {
+    /// All regions, fixed order.
+    pub const ALL: [Region; 6] = [
+        Region::UsEast,
+        Region::UsWest,
+        Region::Japan,
+        Region::Europe,
+        Region::Oceania,
+        Region::RestOfWorld,
+    ];
+
+    /// Offset of the region's local time from the simulation clock, in
+    /// hours. The simulation clock runs on Japan time (the Games' local
+    /// time).
+    pub fn utc_offset_from_japan(self) -> i32 {
+        match self {
+            Region::Japan => 0,
+            Region::UsEast => -14,  // JST+9 vs EST-5
+            Region::UsWest => -17,  // vs PST-8
+            Region::Europe => -9,   // vs GMT
+            Region::Oceania => 2,   // vs AEDT+11
+            Region::RestOfWorld => -1,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::UsEast => "US-East",
+            Region::UsWest => "US-West",
+            Region::Japan => "Japan",
+            Region::Europe => "Europe",
+            Region::Oceania => "Oceania",
+            Region::RestOfWorld => "Rest-of-world",
+        }
+    }
+}
+
+/// The geographic request mix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeoMix {
+    shares: [f64; 6],
+}
+
+impl Default for GeoMix {
+    fn default() -> Self {
+        Self::nagano()
+    }
+}
+
+impl GeoMix {
+    /// Mix calibrated to Figure 23's breakdown: North America and Japan
+    /// dominate, Europe next, then Oceania and the rest.
+    pub fn nagano() -> Self {
+        GeoMix {
+            // UsEast, UsWest, Japan, Europe, Oceania, RestOfWorld
+            shares: [0.24, 0.18, 0.28, 0.16, 0.06, 0.08],
+        }
+    }
+
+    /// Custom mix (must be non-negative; normalised on construction).
+    pub fn custom(shares: [f64; 6]) -> Self {
+        let total: f64 = shares.iter().sum();
+        assert!(total > 0.0, "shares must sum positive");
+        let mut s = shares;
+        for v in &mut s {
+            assert!(*v >= 0.0);
+            *v /= total;
+        }
+        GeoMix { shares: s }
+    }
+
+    /// Share of traffic for a region.
+    pub fn share(&self, region: Region) -> f64 {
+        self.shares[Region::ALL.iter().position(|&r| r == region).unwrap()]
+    }
+
+    /// Sample a region.
+    pub fn sample(&self, rng: &mut DeterministicRng) -> Region {
+        Region::ALL[rng.weighted_index(&self.shares)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mix_sums_to_one() {
+        let mix = GeoMix::nagano();
+        let total: f64 = Region::ALL.iter().map(|&r| mix.share(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn japan_and_us_dominate() {
+        let mix = GeoMix::nagano();
+        let us = mix.share(Region::UsEast) + mix.share(Region::UsWest);
+        assert!(us > 0.35);
+        assert!(mix.share(Region::Japan) > 0.2);
+        assert!(mix.share(Region::Oceania) < 0.1);
+    }
+
+    #[test]
+    fn sampling_tracks_shares() {
+        let mix = GeoMix::nagano();
+        let mut rng = DeterministicRng::seed_from_u64(23);
+        let mut japan = 0u32;
+        let n = 50_000;
+        for _ in 0..n {
+            if mix.sample(&mut rng) == Region::Japan {
+                japan += 1;
+            }
+        }
+        let frac = japan as f64 / n as f64;
+        assert!((frac - 0.28).abs() < 0.02, "japan {frac}");
+    }
+
+    #[test]
+    fn custom_mix_normalises() {
+        let mix = GeoMix::custom([2.0, 2.0, 2.0, 2.0, 1.0, 1.0]);
+        assert!((mix.share(Region::UsEast) - 0.2).abs() < 1e-9);
+        assert!((mix.share(Region::Oceania) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_mix_rejected() {
+        let _ = GeoMix::custom([0.0; 6]);
+    }
+
+    #[test]
+    fn offsets_are_sane() {
+        assert_eq!(Region::Japan.utc_offset_from_japan(), 0);
+        assert!(Region::UsEast.utc_offset_from_japan() < 0);
+        assert!(Region::Oceania.utc_offset_from_japan() > 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Workload models for the 16-day Games: who requests what, when, from
+//! where — and when the databases change.
+//!
+//! Calibrated against §5 of the paper:
+//! * 634.7M requests over 16 days; peak day (7) 56.8M; peak minute
+//!   110,414 around the Women's Figure Skating free skate (day 14);
+//!   98,000/min during the Men's Ski Jumping finals (day 10).
+//! * strong diurnal cycles per geography (Figure 18);
+//! * geographic mix across four serving complexes (Figure 23);
+//! * ~10 KB mean transfer (Figure 21: a daily terabyte-scale byte volume).
+//!
+//! Modules:
+//! * [`geo`] — client regions and the geographic mix.
+//! * [`diurnal`] — hour-of-day activity shapes per region.
+//! * [`calendar`] — day weights across the Games, with marquee-event
+//!   spikes.
+//! * [`requests`] — the composite request-rate model and per-request
+//!   sampler (page, region, link class).
+//! * [`sessions`] — concrete per-visit page sequences under the 1996 and
+//!   1998 site structures.
+//! * [`updates`] — the database update schedule: partial/final results per
+//!   event, news, photos.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calendar;
+pub mod diurnal;
+pub mod geo;
+pub mod requests;
+pub mod sessions;
+pub mod updates;
+
+pub use calendar::GamesCalendar;
+pub use diurnal::DiurnalShape;
+pub use geo::{GeoMix, Region};
+pub use requests::{RequestModel, RequestSample};
+pub use sessions::SessionModel;
+pub use updates::{ScheduledUpdate, UpdateKind, UpdateSchedule};

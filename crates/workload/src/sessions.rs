@@ -1,0 +1,201 @@
+//! Session-level navigation: concrete page-request sequences for one
+//! visitor under the 1996 and 1998 site structures (§3.1).
+//!
+//! Where [`nagano_pagegen::structure`] counts abstract requests per
+//! information need, this module emits the *actual pages* a visitor
+//! fetches, so log-style analyses can reproduce the paper's observations:
+//! under the 1996 hierarchy, "intermediate pages required for navigation
+//! were among the most frequently accessed"; under the 1998 design the
+//! per-day home page absorbs visits.
+
+use nagano_db::OlympicDb;
+use nagano_pagegen::{PageKey, SiteStructure};
+use nagano_simcore::DeterministicRng;
+
+/// Generates concrete per-visit page sequences.
+#[derive(Debug, Clone)]
+pub struct SessionModel {
+    structure: SiteStructure,
+    /// Probability the 1998 home page satisfies the visit outright.
+    home_satisfaction: f64,
+    /// Probability of a follow-up information need.
+    follow_up: f64,
+    /// `(sport, event)` pairs a visit can target.
+    targets: Vec<(nagano_db::SportId, nagano_db::EventId)>,
+}
+
+impl SessionModel {
+    /// Build for a seeded database.
+    pub fn new(db: &OlympicDb, structure: SiteStructure) -> Self {
+        let targets = db.events().iter().map(|e| (e.sport, e.id)).collect();
+        SessionModel {
+            structure,
+            home_satisfaction: 0.28,
+            follow_up: 0.35,
+            targets,
+        }
+    }
+
+    /// The structure being generated.
+    pub fn structure(&self) -> SiteStructure {
+        self.structure
+    }
+
+    /// One visit: the pages fetched, in order. `day` selects the home
+    /// page the visit enters through.
+    pub fn visit(&self, day: u32, rng: &mut DeterministicRng) -> Vec<PageKey> {
+        assert!(!self.targets.is_empty(), "no events to browse");
+        let (sport, event) = self.targets[rng.index(self.targets.len())];
+        let mut pages = vec![PageKey::Home(day)];
+        match self.structure {
+            SiteStructure::Design96 => {
+                // Home → sports index (modelled as the Welcome/how-to
+                // page) → sport page → event page; visitors overshoot to
+                // a wrong event ~30% of the time and back out via the
+                // sport page.
+                pages.push(PageKey::Welcome);
+                pages.push(PageKey::Sport(sport));
+                if rng.chance(0.30) {
+                    let (_, wrong) = self.targets[rng.index(self.targets.len())];
+                    pages.push(PageKey::Event(wrong));
+                    pages.push(PageKey::Sport(sport));
+                }
+                pages.push(PageKey::Event(event));
+                if rng.chance(self.follow_up) {
+                    // No cross-links: re-descend the tree for the second
+                    // need.
+                    let (sport2, event2) = self.targets[rng.index(self.targets.len())];
+                    pages.push(PageKey::Welcome);
+                    pages.push(PageKey::Sport(sport2));
+                    pages.push(PageKey::Event(event2));
+                }
+            }
+            SiteStructure::Design98 => {
+                if rng.chance(self.home_satisfaction) {
+                    // The per-day home page carried the result inline.
+                    return pages;
+                }
+                // Direct link from the home page to the leaf.
+                pages.push(PageKey::Event(event));
+                if rng.chance(self.follow_up) {
+                    // Cross-links from the leaf: one more request.
+                    pages.push(match rng.index(3) {
+                        0 => PageKey::Medals,
+                        1 => PageKey::Sport(sport),
+                        _ => {
+                            let (_, event2) = self.targets[rng.index(self.targets.len())];
+                            PageKey::Event(event2)
+                        }
+                    });
+                }
+            }
+        }
+        pages
+    }
+
+    /// Aggregate `n` visits: `(total_requests, per-page counts sorted by
+    /// count desc)`.
+    pub fn aggregate(
+        &self,
+        day: u32,
+        n: usize,
+        rng: &mut DeterministicRng,
+    ) -> (u64, Vec<(PageKey, u64)>) {
+        use rustc_hash::FxHashMap;
+        let mut counts: FxHashMap<PageKey, u64> = FxHashMap::default();
+        let mut total = 0u64;
+        for _ in 0..n {
+            for page in self.visit(day, rng) {
+                total += 1;
+                *counts.entry(page).or_insert(0) += 1;
+            }
+        }
+        let mut sorted: Vec<(PageKey, u64)> = counts.into_iter().collect();
+        sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        (total, sorted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nagano_db::{seed_games, GamesConfig};
+
+    fn db() -> OlympicDb {
+        let db = OlympicDb::new();
+        seed_games(&db, &GamesConfig::small());
+        db
+    }
+
+    #[test]
+    fn visits_start_at_the_home_page() {
+        let db = db();
+        let mut rng = DeterministicRng::seed_from_u64(1);
+        for structure in [SiteStructure::Design96, SiteStructure::Design98] {
+            let m = SessionModel::new(&db, structure);
+            for _ in 0..200 {
+                let visit = m.visit(5, &mut rng);
+                assert_eq!(visit[0], PageKey::Home(5));
+                assert!(!visit.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn design96_visits_are_deep_and_pass_through_navigation_pages() {
+        let db = db();
+        let m = SessionModel::new(&db, SiteStructure::Design96);
+        let mut rng = DeterministicRng::seed_from_u64(2);
+        let (total, counts) = m.aggregate(5, 5_000, &mut rng);
+        let per_visit = total as f64 / 5_000.0;
+        assert!(per_visit > 4.0, "96 visits too shallow: {per_visit}");
+        // The pure-navigation Welcome page is among the top pages —
+        // the paper's "intermediate pages ... among the most frequently
+        // accessed".
+        let top3: Vec<PageKey> = counts.iter().take(3).map(|&(k, _)| k).collect();
+        assert!(top3.contains(&PageKey::Welcome), "top3 {top3:?}");
+    }
+
+    #[test]
+    fn design98_visits_are_shallow_with_no_navigation_pages() {
+        let db = db();
+        let m = SessionModel::new(&db, SiteStructure::Design98);
+        let mut rng = DeterministicRng::seed_from_u64(3);
+        let (total, counts) = m.aggregate(5, 5_000, &mut rng);
+        let per_visit = total as f64 / 5_000.0;
+        assert!((1.5..2.5).contains(&per_visit), "98 depth {per_visit}");
+        assert!(
+            !counts.iter().any(|&(k, _)| k == PageKey::Welcome),
+            "1998 visits never touch navigation-only pages"
+        );
+        // Roughly the calibrated share of visits end at the home page.
+        let mut rng2 = DeterministicRng::seed_from_u64(30);
+        let satisfied = (0..5_000)
+            .filter(|_| m.visit(5, &mut rng2).len() == 1)
+            .count();
+        let frac = satisfied as f64 / 5_000.0;
+        assert!((0.24..0.33).contains(&frac), "home-satisfied fraction {frac}");
+        let _ = counts;
+    }
+
+    #[test]
+    fn hit_ratio_between_designs_matches_the_projection_band() {
+        let db = db();
+        let mut rng = DeterministicRng::seed_from_u64(4);
+        let m96 = SessionModel::new(&db, SiteStructure::Design96);
+        let m98 = SessionModel::new(&db, SiteStructure::Design98);
+        let (t96, _) = m96.aggregate(5, 20_000, &mut rng);
+        let (t98, _) = m98.aggregate(5, 20_000, &mut rng);
+        let ratio = t96 as f64 / t98 as f64;
+        assert!((2.2..4.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sessions_are_deterministic_per_seed() {
+        let db = db();
+        let m = SessionModel::new(&db, SiteStructure::Design96);
+        let a = m.visit(3, &mut DeterministicRng::seed_from_u64(9));
+        let b = m.visit(3, &mut DeterministicRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,68 @@
+//! Access-log integration: the server logs every request in CLF; the
+//! analyzer recovers the aggregate picture (the §3.1 workflow).
+
+use std::sync::Arc;
+
+use nagano::{ServingSite, SiteConfig};
+use nagano_httpd::{
+    AccessLog, HttpClient, LogAnalysis, LogEntry, RequestObserver, Server, ServerConfig,
+};
+use std::io::BufReader;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+#[test]
+fn served_requests_are_logged_and_analyzable() {
+    let site = Arc::new(ServingSite::build(SiteConfig::small()));
+    let log = Arc::new(AccessLog::new(Vec::new()));
+    let observer: RequestObserver = {
+        let log = Arc::clone(&log);
+        Arc::new(move |req, status, bytes| {
+            let _ = log.log(&LogEntry {
+                host: "203.0.113.9".into(),
+                epoch_secs: SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .unwrap()
+                    .as_secs(),
+                method: req.method.clone(),
+                path: req.path.clone(),
+                status,
+                bytes,
+            });
+        })
+    };
+    let server = Server::bind_with_observer(
+        "127.0.0.1:0",
+        site.http_handler(0),
+        ServerConfig::default(),
+        Some(observer),
+    )
+    .unwrap();
+
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    for _ in 0..5 {
+        client.get("/medals").unwrap();
+    }
+    for _ in 0..3 {
+        client.get("/day/3/").unwrap();
+    }
+    client.get("/no/such/page").unwrap();
+    drop(client);
+    server.shutdown();
+
+    // Recover the log buffer and analyse it.
+    let buf = Arc::try_unwrap(log)
+        .map_err(|_| "log still shared")
+        .unwrap()
+        .into_inner();
+    let analysis = LogAnalysis::from_reader(BufReader::new(&buf[..])).unwrap();
+    assert_eq!(analysis.total, 9);
+    assert_eq!(analysis.malformed, 0);
+    assert_eq!(
+        analysis.top_pages(2),
+        vec![("/medals".to_string(), 5), ("/day/3/".to_string(), 3)]
+    );
+    assert_eq!(analysis.by_status[&404], 1);
+    assert!(analysis.status_class_share(2) > 0.8);
+    // Mean bytes reflects real page sizes (medals ~10 KB, home ~55 KB).
+    assert!(analysis.mean_bytes() > 5_000.0, "mean {}", analysis.mean_bytes());
+}

@@ -1,0 +1,156 @@
+//! Chaos tests on the global cluster simulation: random failure
+//! injection must never lose a request while at least one complex lives,
+//! and the simulation must be deterministic.
+
+use nagano_cluster::{
+    ClusterConfig, ClusterSim, ClusterState, FailureKind, FailurePlanEntry, Msirp,
+    RouteDecision,
+};
+use nagano_db::GamesConfig;
+use nagano_simcore::{DeterministicRng, SimTime};
+use nagano_workload::Region;
+use proptest::prelude::*;
+
+fn quick_config(seed: u64) -> ClusterConfig {
+    ClusterConfig {
+        scale: 50_000.0,
+        seed,
+        games: GamesConfig::small(),
+        start_day: 3,
+        end_day: 3,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn three_complexes_down_still_serves_everything() {
+    let mut cfg = quick_config(1);
+    cfg.failure_plan = (0..3)
+        .map(|site| FailurePlanEntry {
+            at: SimTime::at(3, 6, 0),
+            kind: FailureKind::Complex { site },
+            up: false,
+        })
+        .collect();
+    let report = ClusterSim::new(cfg).run();
+    assert!(report.total_requests > 100);
+    assert_eq!(report.failed_requests, 0, "one complex must carry everything");
+    // Everything after the failure went to Tokyo (site 3).
+    let after_start = 2 * 1440 + 6 * 60 + 5;
+    for site in 0..3 {
+        let served: f64 = report.per_site_minute[site].bins()[after_start..(3 * 1440 - 1)]
+            .iter()
+            .sum();
+        assert_eq!(served, 0.0, "site {site} served while dark");
+    }
+}
+
+#[test]
+fn total_outage_fails_requests_then_recovers() {
+    let mut cfg = quick_config(2);
+    let mut plan: Vec<FailurePlanEntry> = (0..4)
+        .map(|site| FailurePlanEntry {
+            at: SimTime::at(3, 10, 0),
+            kind: FailureKind::Complex { site },
+            up: false,
+        })
+        .collect();
+    plan.extend((0..4).map(|site| FailurePlanEntry {
+        at: SimTime::at(3, 12, 0),
+        kind: FailureKind::Complex { site },
+        up: true,
+    }));
+    cfg.failure_plan = plan;
+    let report = ClusterSim::new(cfg).run();
+    assert!(report.failed_requests > 0, "total outage must drop requests");
+    assert!(report.availability() < 1.0);
+    // Service resumed after the restore.
+    let tail: f64 = report.per_minute.bins()[(2 * 1440 + 13 * 60)..(3 * 1440 - 1)]
+        .iter()
+        .sum();
+    assert!(tail > 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Routing never strands a request while any complex advertises, for
+    /// arbitrary health states.
+    #[test]
+    fn routing_total_when_any_complex_lives(
+        dead_nodes in proptest::collection::vec((0..4usize, 0..3usize, 0..8usize), 0..30),
+        dead_frames in proptest::collection::vec((0..4usize, 0..3usize), 0..6),
+        dead_nds in proptest::collection::vec((0..4usize, 0..4usize), 0..10),
+        dead_complexes in proptest::collection::vec(0..4usize, 0..3),
+        addr in 0..12usize,
+        region_sel in 0..6usize,
+    ) {
+        let mut cluster = ClusterState::new();
+        for (site, frame, node) in dead_nodes {
+            cluster.apply(FailureKind::Node { site, frame, node }, false);
+        }
+        for (site, frame) in dead_frames {
+            cluster.apply(FailureKind::Frame { site, frame }, false);
+        }
+        for (site, nd) in dead_nds {
+            cluster.apply(FailureKind::Dispatcher { site, nd }, false);
+        }
+        for site in dead_complexes {
+            cluster.apply(FailureKind::Complex { site }, false);
+        }
+        let msirp = Msirp::nagano();
+        let region = Region::ALL[region_sel];
+        let adverts = cluster.adverts(&msirp, addr);
+        let any_alive = cluster.availability().iter().any(|&a| a);
+        match msirp.route(region, addr, &adverts) {
+            RouteDecision::Site(s) => {
+                prop_assert!(cluster.availability()[s.0], "routed to a dead complex");
+                // The picked complex can actually produce a node.
+                prop_assert!(cluster.site_mut(s).pick_node().is_some());
+            }
+            RouteDecision::Unroutable => {
+                prop_assert!(!any_alive, "unroutable while a complex lives");
+            }
+        }
+    }
+
+    /// Failure + restore returns the cluster to a fully routable state.
+    #[test]
+    fn restore_is_complete(ops in proptest::collection::vec(any::<u64>(), 1..20)) {
+        let mut cluster = ClusterState::new();
+        let mut rng = DeterministicRng::seed_from_u64(99);
+        let mut applied = Vec::new();
+        for _ in &ops {
+            let kind = cluster.random_failure_target(&mut rng);
+            cluster.apply(kind, false);
+            applied.push(kind);
+        }
+        for kind in applied {
+            cluster.apply(kind, true);
+        }
+        prop_assert_eq!(cluster.availability(), [true; 4]);
+        let msirp = Msirp::nagano();
+        for addr in 0..12 {
+            let adverts = cluster.adverts(&msirp, addr);
+            prop_assert!(matches!(
+                msirp.route(Region::Japan, addr, &adverts),
+                RouteDecision::Site(_)
+            ));
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_across_runs() {
+    let a = ClusterSim::new(quick_config(7)).run();
+    let b = ClusterSim::new(quick_config(7)).run();
+    assert_eq!(a.total_requests, b.total_requests);
+    assert_eq!(a.failed_requests, b.failed_requests);
+    assert_eq!(a.cache.hits, b.cache.hits);
+    assert_eq!(a.cache.misses, b.cache.misses);
+    assert_eq!(a.per_site_totals(), b.per_site_totals());
+    assert_eq!(a.updates_applied, b.updates_applied);
+    // Different seeds diverge.
+    let c = ClusterSim::new(quick_config(8)).run();
+    assert_ne!(a.total_requests, c.total_requests);
+}

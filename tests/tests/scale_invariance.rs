@@ -1,0 +1,70 @@
+//! Methodological check: the simulation's *shape* results must not depend
+//! on the scale factor. DESIGN.md promises that `--scale` only divides
+//! request volumes; hit rates, geographic shares, and availability are
+//! scale-free.
+
+use nagano_cluster::{ClusterConfig, ClusterSim};
+use nagano_db::GamesConfig;
+use nagano_workload::Region;
+
+fn run_at(scale: f64) -> nagano_cluster::ClusterReport {
+    ClusterSim::new(ClusterConfig {
+        scale,
+        seed: 99,
+        games: GamesConfig::small(),
+        start_day: 4,
+        end_day: 6,
+        ..Default::default()
+    })
+    .run()
+}
+
+#[test]
+fn shape_metrics_are_scale_free() {
+    let coarse = run_at(60_000.0);
+    let fine = run_at(15_000.0);
+
+    // Volumes scale ~4x …
+    let ratio = fine.total_requests as f64 / coarse.total_requests as f64;
+    assert!((ratio - 4.0).abs() < 0.4, "volume ratio {ratio}");
+    // … paper-unit totals agree …
+    let coarse_paper = coarse.total_requests_paper();
+    let fine_paper = fine.total_requests_paper();
+    assert!(
+        (coarse_paper / fine_paper - 1.0).abs() < 0.05,
+        "paper totals {coarse_paper:.0} vs {fine_paper:.0}"
+    );
+    // … and the shape metrics match within sampling noise.
+    assert_eq!(coarse.availability(), 1.0);
+    assert_eq!(fine.availability(), 1.0);
+    assert!((coarse.hit_rate() - fine.hit_rate()).abs() < 0.01);
+    for region in Region::ALL {
+        let share = |r: &nagano_cluster::ClusterReport| {
+            *r.by_region.get(&region).unwrap_or(&0) as f64 / r.total_requests as f64
+        };
+        let (a, b) = (share(&coarse), share(&fine));
+        assert!(
+            (a - b).abs() < 0.03,
+            "{}: {a:.3} vs {b:.3}",
+            region.label()
+        );
+    }
+    // Per-site traffic split is stable too.
+    let total_c: f64 = coarse.per_site_totals().iter().sum();
+    let total_f: f64 = fine.per_site_totals().iter().sum();
+    for site in 0..4 {
+        let a = coarse.per_site_totals()[site] / total_c;
+        let b = fine.per_site_totals()[site] / total_f;
+        assert!((a - b).abs() < 0.03, "site {site}: {a:.3} vs {b:.3}");
+    }
+}
+
+#[test]
+fn freshness_is_scale_free() {
+    // Update application timing has nothing to do with request volume.
+    let coarse = run_at(60_000.0);
+    let fine = run_at(15_000.0);
+    assert_eq!(coarse.updates_applied, fine.updates_applied);
+    assert!((coarse.freshness.mean() - fine.freshness.mean()).abs() < 1.0);
+    assert!(coarse.freshness_max < 60.0 && fine.freshness_max < 60.0);
+}
