@@ -13,11 +13,7 @@ use nagano_cache::{CacheConfig, PageCache, ReplacementPolicy};
 fn populated(config: CacheConfig, n: usize) -> PageCache {
     let cache = PageCache::new(config);
     for i in 0..n {
-        cache.put(
-            &format!("/page/{i}"),
-            Bytes::from(vec![b'x'; 2048]),
-            50.0,
-        );
+        cache.put(&format!("/page/{i}"), Bytes::from(vec![b'x'; 2048]), 50.0);
     }
     cache
 }
@@ -31,10 +27,7 @@ fn bench_ops(c: &mut Criterion) {
 
     for (name, config) in [
         ("unbounded", CacheConfig::unbounded()),
-        (
-            "lru",
-            CacheConfig::bounded(8 << 20, ReplacementPolicy::Lru),
-        ),
+        ("lru", CacheConfig::bounded(8 << 20, ReplacementPolicy::Lru)),
         (
             "gds",
             CacheConfig::bounded(8 << 20, ReplacementPolicy::GreedyDualSize),

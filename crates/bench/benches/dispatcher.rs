@@ -55,9 +55,7 @@ fn bench_routing(c: &mut Criterion) {
         .collect();
     group.bench_function("trigger_process_result_txn", |b| {
         b.iter(|| {
-            let txn = site
-                .db()
-                .record_results(ev.id, &placements, false, ev.day);
+            let txn = site.db().record_results(ev.id, &placements, false, ev.day);
             black_box(site.monitor().process_txn(&txn))
         })
     });

@@ -45,9 +45,7 @@ fn bench_render(c: &mut Criterion) {
         b.iter(|| black_box(renderer.render(PageKey::Home(2))))
     });
     group.bench_function("athlete_page", |b| {
-        b.iter(|| {
-            black_box(renderer.render(PageKey::Athlete(nagano_db::AthleteId(1))))
-        })
+        b.iter(|| black_box(renderer.render(PageKey::Athlete(nagano_db::AthleteId(1)))))
     });
     group.finish();
 }

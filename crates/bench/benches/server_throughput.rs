@@ -42,11 +42,11 @@ fn bench_server(c: &mut Criterion) {
     // Uncached dynamic generation with a reduced CPU-burn scale so the
     // bench finishes quickly while preserving the orders-of-magnitude gap.
     let renderer = Renderer::new(Arc::clone(site.db())).with_simulated_cpu(0.05);
-    let handler: Arc<dyn Handler> = Arc::new(move |req: &Request| match PageKey::parse(&req.path)
-    {
-        Some(key) => Response::html(renderer.render(key).body),
-        None => Response::not_found(),
-    });
+    let handler: Arc<dyn Handler> =
+        Arc::new(move |req: &Request| match PageKey::parse(&req.path) {
+            Some(key) => Response::html(renderer.render(key).body),
+            None => Response::not_found(),
+        });
     let uncached = Server::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap();
     {
         let mut client = HttpClient::connect(uncached.addr()).unwrap();

@@ -36,7 +36,10 @@ fn main() {
             }
             "--out" => {
                 i += 1;
-                out_dir = args.get(i).cloned().unwrap_or_else(|| usage("--out needs a dir"));
+                out_dir = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--out needs a dir"));
             }
             "--help" | "-h" => usage(""),
             other => ids.push(other.to_string()),

@@ -219,7 +219,9 @@ pub fn mix(config: &ExpConfig) -> ExpResult {
     let mut page_counts: FxHashMap<nagano_pagegen::PageKey, u64> = FxHashMap::default();
     let mut rng2 = DeterministicRng::seed_from_u64(config.seed ^ 0xca8);
     for _ in 0..n / 3 {
-        *page_counts.entry(model.sample_page(t, &mut rng2)).or_insert(0) += 1;
+        *page_counts
+            .entry(model.sample_page(t, &mut rng2))
+            .or_insert(0) += 1;
     }
     let top_page = page_counts
         .iter()

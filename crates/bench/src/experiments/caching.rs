@@ -51,7 +51,11 @@ pub fn hitrate(config: &ExpConfig) -> ExpResult {
         format!("{:.2}", ttl_rate * 100.0),
         "n/a (serves stale)".to_string(),
     ]);
-    table.row(["no-cache".to_string(), format!("{:.2}", nocache_rate * 100.0), "n/a".to_string()]);
+    table.row([
+        "no-cache".to_string(),
+        format!("{:.2}", nocache_rate * 100.0),
+        "n/a".to_string(),
+    ]);
     json_rows.push(json!({"policy": "ttl-60s", "hit_rate": ttl_rate}));
     json_rows.push(json!({"policy": "no-cache", "hit_rate": nocache_rate}));
 
@@ -95,7 +99,11 @@ fn ttl_and_nocache(config: &ExpConfig) -> (f64, f64) {
             }
         }
     }
-    let ttl_rate = if total == 0 { 0.0 } else { hits as f64 / total as f64 };
+    let ttl_rate = if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    };
     (ttl_rate, 0.0) // no-cache: every request generates
 }
 
@@ -121,7 +129,11 @@ pub fn throughput(config: &ExpConfig) -> ExpResult {
     }));
     let server = site.serve_http("127.0.0.1:0", 0, server_cfg()).unwrap();
 
-    let static_paths = vec!["/welcome".to_string(), "/nagano".to_string(), "/fun".to_string()];
+    let static_paths = vec![
+        "/welcome".to_string(),
+        "/nagano".to_string(),
+        "/fun".to_string(),
+    ];
     let static_report = LoadRunner::new(clients, static_paths).run(server.addr(), duration);
 
     let events = site.db().events();
@@ -138,12 +150,11 @@ pub fn throughput(config: &ExpConfig) -> ExpResult {
     // Uncached dynamic: regenerate on every request, burning the modelled
     // CPU cost for real (FastCGI server program without the cache).
     let renderer = Renderer::new(Arc::clone(site.db())).with_simulated_cpu(1.0);
-    let uncached_handler: Arc<dyn Handler> = Arc::new(move |req: &Request| {
-        match PageKey::parse(&req.path) {
+    let uncached_handler: Arc<dyn Handler> =
+        Arc::new(move |req: &Request| match PageKey::parse(&req.path) {
             Some(key) => Response::html(renderer.render(key).body),
             None => Response::not_found(),
-        }
-    });
+        });
     let uncached_server = Server::bind("127.0.0.1:0", uncached_handler, server_cfg()).unwrap();
     let uncached_report =
         LoadRunner::new(clients, dynamic_paths).run(uncached_server.addr(), duration);
@@ -199,7 +210,12 @@ pub fn odg_scaling(config: &ExpConfig) -> ExpResult {
     let shapes: &[(u32, u32, u32)] = if config.quick {
         &[(100, 500, 5), (1_000, 5_000, 5)]
     } else {
-        &[(100, 500, 5), (1_000, 5_000, 5), (5_000, 25_000, 10), (20_000, 100_000, 10)]
+        &[
+            (100, 500, 5),
+            (1_000, 5_000, 5),
+            (5_000, 25_000, 10),
+            (20_000, 100_000, 10),
+        ]
     };
     let mut json_rows = Vec::new();
     for &(n_data, n_obj, fanout) in shapes {
@@ -298,7 +314,10 @@ pub fn memory(config: &ExpConfig) -> ExpResult {
     let pages = site.fleet().member(0).len();
     let mut table = TextTable::new(["metric", "value"]);
     table
-        .row(["cached pages (one copy)".to_string(), crate::fmt::thousands(pages as f64)])
+        .row([
+            "cached pages (one copy)".to_string(),
+            crate::fmt::thousands(pages as f64),
+        ])
         .row([
             "cache bytes".to_string(),
             format!("{:.1} MB", bytes as f64 / 1.0e6),

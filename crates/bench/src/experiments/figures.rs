@@ -24,7 +24,13 @@ pub fn fig18(config: &ExpConfig) -> ExpResult {
             per_site[s][i % 24] += v * report.scale / days as f64;
         }
     }
-    let mut table = TextTable::new(["hour (JST)", SITE_NAMES[0], SITE_NAMES[1], SITE_NAMES[2], SITE_NAMES[3]]);
+    let mut table = TextTable::new([
+        "hour (JST)",
+        SITE_NAMES[0],
+        SITE_NAMES[1],
+        SITE_NAMES[2],
+        SITE_NAMES[3],
+    ]);
     for h in 0..24 {
         table.row([
             format!("{h:02}:00"),
@@ -51,7 +57,11 @@ pub fn fig18(config: &ExpConfig) -> ExpResult {
          Schaumburg at {schaumburg_peak_h:02}:00 JST (US evening); \
          peak-to-trough ratio {:.1}x.",
         global.iter().cloned().fold(0.0, f64::max)
-            / global.iter().cloned().fold(f64::INFINITY, f64::min).max(1.0)
+            / global
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min)
+                .max(1.0)
     );
     ExpResult {
         id: "fig18",

@@ -24,7 +24,9 @@ pub fn games_for(config: &ExpConfig) -> GamesConfig {
     }
 }
 
-/// Build the standard 16-day cluster configuration.
+/// Build the standard 16-day cluster configuration. Telemetry snapshots
+/// (hourly JSON lines plus final Prometheus/JSON exports) land under
+/// `target/experiments/telemetry/<policy>/`.
 pub fn cluster_config(config: &ExpConfig, policy: ConsistencyPolicy) -> ClusterConfig {
     ClusterConfig {
         scale: config.scale,
@@ -36,6 +38,9 @@ pub fn cluster_config(config: &ExpConfig, policy: ConsistencyPolicy) -> ClusterC
         failure_plan: Vec::new(),
         us_congestion: (7, 9, 1.45),
         updates_on_serving_nodes: false,
+        export_dir: Some(
+            std::path::PathBuf::from("target/experiments/telemetry").join(policy.label()),
+        ),
     }
 }
 

@@ -27,7 +27,10 @@ pub fn peak(config: &ExpConfig) -> ExpResult {
     let (sj_minute, sj_count) = day10
         .clone()
         .map(|m| (m, report.per_minute.bins()[m]))
-        .fold((0, 0.0), |best, (m, v)| if v > best.1 { (m, v) } else { best });
+        .fold(
+            (0, 0.0),
+            |best, (m, v)| if v > best.1 { (m, v) } else { best },
+        );
     let tokyo_share = if sj_count > 0.0 {
         report.per_site_minute[3].bins()[sj_minute] / sj_count
     } else {
@@ -148,7 +151,10 @@ pub fn avail(config: &ExpConfig) -> ExpResult {
 
     // Tokyo's share before, during, and after the complex outage.
     let share_in = |range: std::ops::Range<usize>| -> f64 {
-        let tokyo_sum: f64 = range.clone().map(|m| report.per_site_minute[3].bins()[m]).sum();
+        let tokyo_sum: f64 = range
+            .clone()
+            .map(|m| report.per_site_minute[3].bins()[m])
+            .sum();
         let total: f64 = range.map(|m| report.per_minute.bins()[m]).sum();
         if total == 0.0 {
             0.0
@@ -162,8 +168,14 @@ pub fn avail(config: &ExpConfig) -> ExpResult {
 
     let mut table = TextTable::new(["metric", "value"]);
     table
-        .row(["requests (simulated)".to_string(), thousands(report.total_requests as f64)])
-        .row(["failed requests".to_string(), thousands(report.failed_requests as f64)])
+        .row([
+            "requests (simulated)".to_string(),
+            thousands(report.total_requests as f64),
+        ])
+        .row([
+            "failed requests".to_string(),
+            thousands(report.failed_requests as f64),
+        ])
         .row([
             "availability".to_string(),
             format!("{:.4}%", report.availability() * 100.0),
@@ -206,9 +218,20 @@ pub fn avail(config: &ExpConfig) -> ExpResult {
     }
 }
 
-/// Freshness: commit-to-visible latency at the serving sites.
+/// Freshness: commit-to-visible latency at the serving sites, as a full
+/// latency distribution (telemetry histogram, not just mean/max).
 pub fn fresh(config: &ExpConfig) -> ExpResult {
     let report = full_report(config);
+    let hist = &report.freshness_hist;
+    let pct = |p: f64| -> f64 {
+        let v = hist.percentile(p);
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    };
+    let (p50, p95, p99, p999) = (pct(50.0), pct(95.0), pct(99.0), pct(99.9));
     let mut table = TextTable::new(["metric", "value"]);
     table
         .row([
@@ -219,18 +242,25 @@ pub fn fresh(config: &ExpConfig) -> ExpResult {
             "mean commit→visible".to_string(),
             format!("{:.2} s", report.freshness.mean()),
         ])
+        .row(["p50 commit→visible".to_string(), format!("{p50:.2} s")])
+        .row(["p95 commit→visible".to_string(), format!("{p95:.2} s")])
+        .row(["p99 commit→visible".to_string(), format!("{p99:.2} s")])
+        .row(["p99.9 commit→visible".to_string(), format!("{p999:.2} s")])
         .row([
             "max commit→visible".to_string(),
             format!("{:.2} s", report.freshness_max),
         ]);
     let verdict = format!(
         "Paper: pages reflected new results within seconds, bounded at sixty seconds.\n\
-         Measured: mean {:.1}s, worst {:.1}s across {} site applications — \
-         {} the 60 s bound.",
-        report.freshness.mean(),
+         Measured: p50 {p50:.1}s / p95 {p95:.1}s / p99 {p99:.1}s, worst {:.1}s across {} \
+         site applications — {} the 60 s bound.",
         report.freshness_max,
         report.freshness.count(),
-        if report.freshness_max < 60.0 { "within" } else { "VIOLATING" }
+        if report.freshness_max < 60.0 {
+            "within"
+        } else {
+            "VIOLATING"
+        }
     );
     ExpResult {
         id: "fresh",
@@ -238,6 +268,10 @@ pub fn fresh(config: &ExpConfig) -> ExpResult {
         rendered: table.render(),
         json: json!({
             "mean_s": report.freshness.mean(),
+            "p50_s": p50,
+            "p95_s": p95,
+            "p99_s": p99,
+            "p999_s": p999,
             "max_s": report.freshness_max,
             "count": report.freshness.count(),
         }),
@@ -285,14 +319,15 @@ pub fn nav(config: &ExpConfig) -> ExpResult {
     let (t98, top98) =
         SessionModel::new(&db, SiteStructure::Design98).aggregate(7, visits, &mut rng);
     for i in 0..4 {
-        let a = top96.get(i).map(|&(k, c)| (k.to_url(), c)).unwrap_or_default();
-        let b = top98.get(i).map(|&(k, c)| (k.to_url(), c)).unwrap_or_default();
-        session_table.row([
-            a.0,
-            thousands(a.1 as f64),
-            b.0,
-            thousands(b.1 as f64),
-        ]);
+        let a = top96
+            .get(i)
+            .map(|&(k, c)| (k.to_url(), c))
+            .unwrap_or_default();
+        let b = top98
+            .get(i)
+            .map(|&(k, c)| (k.to_url(), c))
+            .unwrap_or_default();
+        session_table.row([a.0, thousands(a.1 as f64), b.0, thousands(b.1 as f64)]);
     }
     let session_ratio = t96 as f64 / t98 as f64;
 
@@ -338,6 +373,15 @@ pub fn summary(config: &ExpConfig) -> ExpResult {
     let inval = super::report_for_policy(config, ConsistencyPolicy::Invalidate);
     let cons = super::report_for_policy(config, ConsistencyPolicy::Conservative96);
     let (_, _, peak_rate) = report.peak_minute();
+    let fpct = |p: f64| -> f64 {
+        let v = report.freshness_hist.percentile(p);
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    };
+    let (fresh_p50, fresh_p95, fresh_p99) = (fpct(50.0), fpct(95.0), fpct(99.0));
     let days = report.hits_per_day_paper_millions();
     let total: f64 = days.iter().sum();
     let peak_day = days
@@ -385,6 +429,11 @@ pub fn summary(config: &ExpConfig) -> ExpResult {
             format!("{:.4}%", report.availability() * 100.0),
         ])
         .row([
+            "update freshness p50/p95/p99".to_string(),
+            "seconds".to_string(),
+            format!("{fresh_p50:.1} / {fresh_p95:.1} / {fresh_p99:.1} s"),
+        ])
+        .row([
             "worst update freshness".to_string(),
             "< 60 s".to_string(),
             format!("{:.1} s", report.freshness_max),
@@ -404,6 +453,9 @@ pub fn summary(config: &ExpConfig) -> ExpResult {
             "total_millions": total,
             "peak_minute": peak_rate,
             "availability": report.availability(),
+            "freshness_p50_s": fresh_p50,
+            "freshness_p95_s": fresh_p95,
+            "freshness_p99_s": fresh_p99,
             "freshness_max_s": report.freshness_max,
         }),
         verdict,
@@ -424,11 +476,11 @@ pub fn soak(config: &ExpConfig) -> ExpResult {
 
     let mut table = TextTable::new(["metric", "value"]);
     table
+        .row(["days simulated".to_string(), format!("{}", end - start + 1)])
         .row([
-            "days simulated".to_string(),
-            format!("{}", end - start + 1),
+            "component failures injected".to_string(),
+            n_failures.to_string(),
         ])
-        .row(["component failures injected".to_string(), n_failures.to_string()])
         .row([
             "requests (simulated)".to_string(),
             thousands(report.total_requests as f64),
@@ -538,7 +590,11 @@ pub fn contention(config: &ExpConfig) -> ExpResult {
 pub fn regen(config: &ExpConfig) -> ExpResult {
     let report = full_report(config);
     // regen_per_day sums all four sites; per-site is the comparable unit.
-    let per_site: Vec<f64> = report.regen_per_day.iter().map(|&r| r as f64 / 4.0).collect();
+    let per_site: Vec<f64> = report
+        .regen_per_day
+        .iter()
+        .map(|&r| r as f64 / 4.0)
+        .collect();
     let mut table = TextTable::new(["day", "pages regenerated (per site)"]);
     for (i, r) in per_site.iter().enumerate() {
         table.row([format!("{}", i + 1), thousands(*r)]);

@@ -68,17 +68,25 @@ fn build_table(
             format!("{resp:.2}"),
             format!("{rate:.2}"),
         ]);
-        json_rows.push(json!({"site": format!("Olympics/{label}"), "response_s": resp, "kbps": rate}));
+        json_rows
+            .push(json!({"site": format!("Olympics/{label}"), "response_s": resp, "kbps": rate}));
     }
     let mut comparator_means = Vec::new();
     for site in comparators {
         let (resp, rate) = site.measure(n, &mut rng);
         comparator_means.push(resp);
-        table.row([site.name.to_string(), format!("{resp:.2}"), format!("{rate:.2}")]);
+        table.row([
+            site.name.to_string(),
+            format!("{resp:.2}"),
+            format!("{rate:.2}"),
+        ]);
         json_rows.push(json!({"site": site.name, "response_s": resp, "kbps": rate}));
     }
     let oly_best = olympics_means.iter().cloned().fold(f64::INFINITY, f64::min);
-    let comp_best = comparator_means.iter().cloned().fold(f64::INFINITY, f64::min);
+    let comp_best = comparator_means
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
     let verdict = format!(
         "{paper_note}\nMeasured: Olympics fastest column {oly_best:.1}s vs best comparator \
          {comp_best:.1}s — the Nagano site ranks among the most responsive, as in the paper."

@@ -101,9 +101,29 @@ impl ExpResult {
 
 /// All experiment ids in canonical order.
 pub const ALL_EXPERIMENTS: [&str; 23] = [
-    "fig18", "fig20", "fig21", "fig22", "fig23", "table1", "table2", "hitrate", "throughput",
-    "peak", "odg", "memory", "avail", "fresh", "nav", "regen", "staleness", "batching", "shift",
-    "mix", "contention", "soak", "summary",
+    "fig18",
+    "fig20",
+    "fig21",
+    "fig22",
+    "fig23",
+    "table1",
+    "table2",
+    "hitrate",
+    "throughput",
+    "peak",
+    "odg",
+    "memory",
+    "avail",
+    "fresh",
+    "nav",
+    "regen",
+    "staleness",
+    "batching",
+    "shift",
+    "mix",
+    "contention",
+    "soak",
+    "summary",
 ];
 
 /// Run one experiment by id.

@@ -364,8 +364,7 @@ impl PageCache {
                 // Re-enter the eviction queue at the entry's *original*
                 // recency: unpinning is not an access.
                 e.stamp = fresh_stamp;
-                let rank =
-                    policy.rank(e.last_tick, e.freq, e.cost, e.body.len() as u64, inflation);
+                let rank = policy.rank(e.last_tick, e.freq, e.cost, e.body.len() as u64, inflation);
                 Some((rank, e.stamp))
             } else {
                 None
@@ -436,9 +435,12 @@ impl PageCache {
         let mut out = Vec::new();
         for s in &self.shards {
             let shard = s.lock();
-            out.extend(shard.map.iter().map(|(k, e)| {
-                (k.to_string(), e.body.clone(), e.cost, e.version)
-            }));
+            out.extend(
+                shard
+                    .map
+                    .iter()
+                    .map(|(k, e)| (k.to_string(), e.body.clone(), e.cost, e.version)),
+            );
         }
         out
     }
@@ -569,9 +571,7 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         // Single shard so the budget applies globally.
-        let c = PageCache::new(
-            CacheConfig::bounded(30, ReplacementPolicy::Lru).with_shards(1),
-        );
+        let c = PageCache::new(CacheConfig::bounded(30, ReplacementPolicy::Lru).with_shards(1));
         c.put("/a", body("aaaaaaaaaa"), 1.0); // 10 bytes
         c.put("/b", body("bbbbbbbbbb"), 1.0);
         c.put("/c", body("cccccccccc"), 1.0);
@@ -586,9 +586,7 @@ mod tests {
 
     #[test]
     fn lfu_evicts_least_frequent() {
-        let c = PageCache::new(
-            CacheConfig::bounded(30, ReplacementPolicy::Lfu).with_shards(1),
-        );
+        let c = PageCache::new(CacheConfig::bounded(30, ReplacementPolicy::Lfu).with_shards(1));
         c.put("/a", body("aaaaaaaaaa"), 1.0);
         c.put("/b", body("bbbbbbbbbb"), 1.0);
         c.put("/c", body("cccccccccc"), 1.0);
@@ -617,9 +615,7 @@ mod tests {
 
     #[test]
     fn pinned_entries_survive_eviction() {
-        let c = PageCache::new(
-            CacheConfig::bounded(20, ReplacementPolicy::Lru).with_shards(1),
-        );
+        let c = PageCache::new(CacheConfig::bounded(20, ReplacementPolicy::Lru).with_shards(1));
         c.put("/home", body("aaaaaaaaaa"), 1.0);
         assert!(c.set_pinned("/home", true));
         c.put("/x", body("bbbbbbbbbb"), 1.0);
@@ -634,9 +630,7 @@ mod tests {
 
     #[test]
     fn oversized_entry_does_not_loop() {
-        let c = PageCache::new(
-            CacheConfig::bounded(5, ReplacementPolicy::Lru).with_shards(1),
-        );
+        let c = PageCache::new(CacheConfig::bounded(5, ReplacementPolicy::Lru).with_shards(1));
         c.put("/big", body("0123456789"), 1.0);
         // Entry itself exceeds the budget: the eviction loop removes it
         // and stops (nothing left to evict).
@@ -705,9 +699,7 @@ mod tests {
 
     #[test]
     fn eviction_respects_total_budget_across_fill() {
-        let c = PageCache::new(
-            CacheConfig::bounded(1_000, ReplacementPolicy::Lru).with_shards(1),
-        );
+        let c = PageCache::new(CacheConfig::bounded(1_000, ReplacementPolicy::Lru).with_shards(1));
         for i in 0..200 {
             c.put(&format!("/p{i}"), Bytes::from(vec![0u8; 50]), 1.0);
         }

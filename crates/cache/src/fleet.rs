@@ -26,7 +26,9 @@ impl CacheFleet {
     pub fn new(n: usize, config: CacheConfig) -> Self {
         assert!(n >= 1, "a fleet needs at least one cache");
         CacheFleet {
-            members: (0..n).map(|_| Arc::new(PageCache::new(config.clone()))).collect(),
+            members: (0..n)
+                .map(|_| Arc::new(PageCache::new(config.clone())))
+                .collect(),
         }
     }
 
@@ -190,7 +192,10 @@ mod tests {
         fleet.put_local(2, "/stale-junk", body("x"), 1.0);
         let copied = fleet.resync(0, 2);
         assert_eq!(copied, 2);
-        assert!(fleet.member(2).peek("/stale-junk").is_none(), "junk cleared");
+        assert!(
+            fleet.member(2).peek("/stale-junk").is_none(),
+            "junk cleared"
+        );
         // Content AND versions agree with the healthy peer.
         for key in ["/a", "/b"] {
             let healthy = fleet.member(0).peek(key).unwrap();

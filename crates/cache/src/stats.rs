@@ -2,21 +2,24 @@
 //!
 //! Counters are relaxed atomics: they are monotonic event counts whose
 //! exact interleaving does not matter, only their totals (Rust Atomics and
-//! Locks ch. 2's "statistics" pattern).
+//! Locks ch. 2's "statistics" pattern). The cells are
+//! [`nagano_telemetry`] handles, so a cache can [`bind`](CacheStats::bind)
+//! the very same counters into a [`MetricsRegistry`] — exporters then see
+//! live values with no extra bookkeeping on the hot path.
 
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use nagano_telemetry::{Counter, Gauge, MetricsRegistry};
 
 /// Shared, thread-safe counters for one cache.
 #[derive(Debug, Default)]
 pub struct CacheStats {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    inserts: AtomicU64,
-    updates: AtomicU64,
-    invalidations: AtomicU64,
-    evictions: AtomicU64,
-    bytes_current: AtomicU64,
-    bytes_peak: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    inserts: Counter,
+    updates: Counter,
+    invalidations: Counter,
+    evictions: Counter,
+    bytes_current: Gauge,
+    bytes_peak: Gauge,
 }
 
 /// A point-in-time copy of the counters.
@@ -55,73 +58,92 @@ impl StatsSnapshot {
 impl CacheStats {
     /// Record a hit.
     pub fn hit(&self) {
-        self.hits.fetch_add(1, Relaxed);
+        self.hits.incr();
     }
 
     /// Record a miss.
     pub fn miss(&self) {
-        self.misses.fetch_add(1, Relaxed);
+        self.misses.incr();
     }
 
     /// Record an insertion of `bytes` new bytes.
     pub fn insert(&self, bytes: u64) {
-        self.inserts.fetch_add(1, Relaxed);
+        self.inserts.incr();
         self.grow(bytes);
     }
 
     /// Record an in-place update changing the entry size by
     /// `old_bytes → new_bytes`.
     pub fn update(&self, old_bytes: u64, new_bytes: u64) {
-        self.updates.fetch_add(1, Relaxed);
+        self.updates.incr();
         self.shrink(old_bytes);
         self.grow(new_bytes);
     }
 
     /// Record an invalidation freeing `bytes`.
     pub fn invalidate(&self, bytes: u64) {
-        self.invalidations.fetch_add(1, Relaxed);
+        self.invalidations.incr();
         self.shrink(bytes);
     }
 
     /// Record an eviction freeing `bytes`.
     pub fn evict(&self, bytes: u64) {
-        self.evictions.fetch_add(1, Relaxed);
+        self.evictions.incr();
         self.shrink(bytes);
     }
 
     fn grow(&self, bytes: u64) {
-        let now = self.bytes_current.fetch_add(bytes, Relaxed) + bytes;
+        let now = self.bytes_current.add(bytes);
         // Racy max update is fine: peak is advisory and monotone.
-        self.bytes_peak.fetch_max(now, Relaxed);
+        self.bytes_peak.record_max(now);
     }
 
     fn shrink(&self, bytes: u64) {
-        self.bytes_current.fetch_sub(bytes, Relaxed);
+        self.bytes_current.sub(bytes);
+    }
+
+    /// Register this cache's live cells into `registry` under the
+    /// `nagano_cache_*` names, tagged with `labels` (typically
+    /// `site=<name>`). The registry shares the cells — subsequent events
+    /// show up in exports without copying.
+    pub fn bind(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        registry.bind_counter("nagano_cache_hits_total", labels, &self.hits);
+        registry.bind_counter("nagano_cache_misses_total", labels, &self.misses);
+        registry.bind_counter("nagano_cache_inserts_total", labels, &self.inserts);
+        registry.bind_counter("nagano_cache_updates_total", labels, &self.updates);
+        registry.bind_counter(
+            "nagano_cache_invalidations_total",
+            labels,
+            &self.invalidations,
+        );
+        registry.bind_counter("nagano_cache_evictions_total", labels, &self.evictions);
+        registry.bind_gauge("nagano_cache_bytes_current", labels, &self.bytes_current);
+        registry.bind_gauge("nagano_cache_bytes_peak", labels, &self.bytes_peak);
     }
 
     /// Copy the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            hits: self.hits.load(Relaxed),
-            misses: self.misses.load(Relaxed),
-            inserts: self.inserts.load(Relaxed),
-            updates: self.updates.load(Relaxed),
-            invalidations: self.invalidations.load(Relaxed),
-            evictions: self.evictions.load(Relaxed),
-            bytes_current: self.bytes_current.load(Relaxed),
-            bytes_peak: self.bytes_peak.load(Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            inserts: self.inserts.get(),
+            updates: self.updates.get(),
+            invalidations: self.invalidations.get(),
+            evictions: self.evictions.get(),
+            bytes_current: self.bytes_current.get(),
+            bytes_peak: self.bytes_peak.get(),
         }
     }
 
     /// Zero the event counters (byte gauges are left alone: they track
     /// live state, not events).
     pub fn reset_events(&self) {
-        self.hits.store(0, Relaxed);
-        self.misses.store(0, Relaxed);
-        self.inserts.store(0, Relaxed);
-        self.updates.store(0, Relaxed);
-        self.invalidations.store(0, Relaxed);
-        self.evictions.store(0, Relaxed);
+        self.hits.reset();
+        self.misses.reset();
+        self.inserts.reset();
+        self.updates.reset();
+        self.invalidations.reset();
+        self.evictions.reset();
     }
 }
 
@@ -188,5 +210,19 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(s.snapshot().hits, 80_000);
+    }
+
+    #[test]
+    fn bind_exposes_live_cells() {
+        use nagano_telemetry::{prometheus_text, MetricsRegistry};
+        let reg = MetricsRegistry::new();
+        let s = CacheStats::default();
+        s.bind(&reg, &[("site", "nagano")]);
+        s.hit();
+        s.insert(64);
+        let text = prometheus_text(&reg);
+        assert!(text.contains("nagano_cache_hits_total{site=\"nagano\"} 1"));
+        assert!(text.contains("nagano_cache_bytes_current{site=\"nagano\"} 64"));
+        assert!(text.contains("nagano_cache_bytes_peak{site=\"nagano\"} 64"));
     }
 }

@@ -8,7 +8,7 @@ use nagano_cache::{CacheConfig, PageCache, ReplacementPolicy};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Put(u8, u8),  // key, size selector
+    Put(u8, u8), // key, size selector
     Get(u8),
     Invalidate(u8),
 }

@@ -5,17 +5,20 @@
 //! delays), MSIRP routing over the live cluster state, and the request
 //! model — and measures everything the paper's evaluation section reports.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use rustc_hash::FxHashMap;
 
 use nagano_cache::{CacheConfig, CacheFleet, StatsSnapshot};
-use nagano_db::{seed_games, GamesConfig, OlympicDb, Transaction};
+use nagano_db::{seed_games, GamesConfig, OlympicDb, Transaction, TxnId};
+use nagano_httpd::HttpdMetrics;
 use nagano_pagegen::{PageKey, PageRegistry, Renderer};
 use nagano_simcore::{
     DeterministicRng, EventQueue, Histogram, LinkClass, LinkModel, SimDuration, SimTime,
     TimeSeries, Welford,
 };
+use nagano_telemetry::{json_snapshot, prometheus_text, Telemetry, Trace, TraceKind};
 use nagano_trigger::{ConsistencyPolicy, TriggerMonitor};
 use nagano_workload::{Region, RequestModel, UpdateSchedule};
 
@@ -61,6 +64,11 @@ pub struct ClusterConfig {
     /// so "response times were not adversely affected around the times of
     /// peak updates" (§2).
     pub updates_on_serving_nodes: bool,
+    /// When set, hourly telemetry flush events write per-hour registry
+    /// snapshots (`telemetry_hourly.jsonl`) plus final `metrics.prom` /
+    /// `metrics.json` exports into this directory (typically
+    /// `target/experiments/`). `None` disables all file output.
+    pub export_dir: Option<PathBuf>,
 }
 
 impl Default for ClusterConfig {
@@ -75,6 +83,7 @@ impl Default for ClusterConfig {
             failure_plan: Vec::new(),
             us_congestion: (7, 9, 1.45),
             updates_on_serving_nodes: false,
+            export_dir: None,
         }
     }
 }
@@ -113,10 +122,17 @@ pub struct ClusterReport {
     pub regen_per_day: Vec<u64>,
     /// Freshness: master-commit → site-visible latency (seconds).
     pub freshness: Welford,
+    /// Freshness distribution (seconds) — percentile queries for the
+    /// paper's update-propagation claim (p50/p95/p99/p999).
+    pub freshness_hist: Histogram,
     /// Worst-case freshness in seconds.
     pub freshness_max: f64,
     /// Transactions applied at sites.
     pub updates_applied: u64,
+    /// The run's telemetry: metric registry plus propagation and serving
+    /// trace ring buffers. Export with
+    /// [`nagano_telemetry::prometheus_text`] / [`json_snapshot`].
+    pub telemetry: Arc<Telemetry>,
 }
 
 impl ClusterReport {
@@ -171,6 +187,8 @@ enum SimEvent {
     SiteApply(usize, Arc<Transaction>),
     /// A failure-plan entry fires.
     Failure(usize),
+    /// Hourly telemetry snapshot (only scheduled when `export_dir` is set).
+    TelemetryFlush,
 }
 
 /// Generate a random failure soak plan: `events_per_day` component
@@ -223,6 +241,10 @@ pub fn random_soak_plan(
     plan
 }
 
+/// One serving trace is recorded per this many requests (prime, so the
+/// sample is not phase-locked to any per-minute request pattern).
+const SERVING_TRACE_SAMPLE: u64 = 199;
+
 /// The simulation driver.
 pub struct ClusterSim {
     config: ClusterConfig,
@@ -246,9 +268,14 @@ impl ClusterSim {
         let mut update_rng = rng.fork(1);
         let schedule = UpdateSchedule::generate(&db, &mut update_rng);
 
-        // One trigger monitor + single-member cache fleet per site.
-        let monitors: Vec<TriggerMonitor> = (0..4)
-            .map(|_| {
+        let telemetry = Arc::new(Telemetry::new());
+
+        // One trigger monitor + single-member cache fleet per site, each
+        // binding its live trigger/cache cells into the shared registry
+        // under a `site` label.
+        let monitors: Vec<TriggerMonitor> = SITES
+            .iter()
+            .map(|spec| {
                 let fleet = Arc::new(CacheFleet::new(1, CacheConfig::default()));
                 let m = TriggerMonitor::new(
                     Renderer::new(Arc::clone(&db)),
@@ -257,9 +284,39 @@ impl ClusterSim {
                     cfg.policy,
                 );
                 m.prewarm();
+                let labels = [("site", spec.name)];
+                m.stats().bind(&telemetry.registry, &labels);
+                m.fleet()
+                    .member(0)
+                    .stats_handle()
+                    .bind(&telemetry.registry, &labels);
                 m
             })
             .collect();
+
+        // Per-site request counters (the simulated httpd front end).
+        let httpd_metrics: Vec<HttpdMetrics> = SITES
+            .iter()
+            .map(|spec| {
+                let m = HttpdMetrics::new();
+                m.bind(&telemetry.registry, &[("site", spec.name)]);
+                m
+            })
+            .collect();
+
+        let requests_total = telemetry
+            .registry
+            .counter("nagano_cluster_requests_total", &[]);
+        let failed_total = telemetry
+            .registry
+            .counter("nagano_cluster_failed_requests_total", &[]);
+        let applied_total = telemetry
+            .registry
+            .counter("nagano_cluster_updates_applied_total", &[]);
+        let freshness_hist =
+            telemetry
+                .registry
+                .histogram("nagano_cluster_freshness_seconds", &[], 1e-3, 600.0);
 
         let mut cluster = ClusterState::new();
         let msirp = Msirp::nagano();
@@ -290,8 +347,10 @@ impl ClusterSim {
             cache: StatsSnapshot::default(),
             regen_per_day: vec![0; cfg.end_day as usize],
             freshness: Welford::new(),
+            freshness_hist: Histogram::new(1e-3, 600.0),
             freshness_max: 0.0,
             updates_applied: 0,
+            telemetry: Arc::clone(&telemetry),
         };
 
         // Seed the event queue: master updates + failure plan.
@@ -304,6 +363,18 @@ impl ClusterSim {
         for (i, f) in cfg.failure_plan.iter().enumerate() {
             queue.schedule(f.at, SimEvent::Failure(i));
         }
+        if cfg.export_dir.is_some() {
+            let start_hour = (cfg.start_day as u64 - 1) * 24;
+            let end_hour = cfg.end_day as u64 * 24;
+            for hour in (start_hour + 1)..=end_hour {
+                queue.schedule(SimTime::from_hours(hour), SimEvent::TelemetryFlush);
+            }
+        }
+
+        // Propagation traces in flight: txn id → (trace, sites applied).
+        let mut pending_traces: FxHashMap<TxnId, (Trace, usize)> = FxHashMap::default();
+        // Per-hour registry snapshots, written out after the run.
+        let mut hourly_snapshots: Vec<String> = Vec::new();
 
         let mut last_apply_minute: [i64; 4] = [i64::MIN; 4];
         let start_min = (cfg.start_day as u64 - 1) * 1440;
@@ -319,6 +390,9 @@ impl ClusterSim {
                     SimEvent::MasterUpdate(i) => {
                         let update = schedule.updates()[i];
                         let txn = UpdateSchedule::apply(&update, &db, &mut apply_rng);
+                        let mut trace = Trace::new(TraceKind::Propagation, txn.id.0);
+                        trace.span_with("txn_receipt", txn.label.clone(), at, at);
+                        pending_traces.insert(txn.id, (trace, 0));
                         for (s, spec) in SITES.iter().enumerate() {
                             queue.schedule(
                                 at + SimDuration::from_secs(spec.replication_delay_secs),
@@ -330,6 +404,7 @@ impl ClusterSim {
                         let outcome = monitors[s].process_txn(&txn);
                         last_apply_minute[s] = at.minute_index() as i64;
                         report.updates_applied += 1;
+                        applied_total.incr();
                         let day_idx = at.day().min(cfg.end_day) as usize - 1;
                         report.regen_per_day[day_idx] += outcome.regenerated.len() as u64;
                         // Visible-latency model: replication delay (already
@@ -338,22 +413,63 @@ impl ClusterSim {
                         let regen_cost_ms: f64 = outcome
                             .regenerated
                             .iter()
-                            .map(|&k| monitors[s].fleet().member(0).peek(&k.to_url())
-                                .map(|_| 1.0).unwrap_or(0.0))
+                            .map(|&k| {
+                                monitors[s]
+                                    .fleet()
+                                    .member(0)
+                                    .peek(&k.to_url())
+                                    .map(|_| 1.0)
+                                    .unwrap_or(0.0)
+                            })
                             .sum::<f64>()
                             * 150.0
                             / 8.0;
-                        let commit_at = at - SimDuration::from_secs(
-                            SITES[s].replication_delay_secs,
-                        );
-                        let visible =
-                            (at + SimDuration::from_secs_f64(regen_cost_ms / 1_000.0)) - commit_at;
+                        let commit_at =
+                            at - SimDuration::from_secs(SITES[s].replication_delay_secs);
+                        let applied_at = at + SimDuration::from_secs_f64(regen_cost_ms / 1_000.0);
+                        let visible = applied_at - commit_at;
                         report.freshness.push(visible.as_secs_f64());
+                        freshness_hist.record(visible.as_secs_f64());
                         report.freshness_max = report.freshness_max.max(visible.as_secs_f64());
+                        if let Some((trace, applied)) = pending_traces.get_mut(&txn.id) {
+                            let site = SITES[s].name;
+                            trace
+                                .span_with("distribute", format!("site={site}"), commit_at, at)
+                                .span_with(
+                                    "odg_traversal",
+                                    format!("site={site} visited={}", outcome.visited),
+                                    at,
+                                    at,
+                                )
+                                .span_with(
+                                    "cache_apply",
+                                    format!(
+                                        "site={site} regenerated={} invalidated={} tolerated={}",
+                                        outcome.regenerated.len(),
+                                        outcome.invalidated.len(),
+                                        outcome.tolerated.len()
+                                    ),
+                                    at,
+                                    applied_at,
+                                );
+                            *applied += 1;
+                            if *applied == SITES.len() {
+                                let (trace, _) =
+                                    pending_traces.remove(&txn.id).expect("trace present");
+                                telemetry.propagation.push(trace);
+                            }
+                        }
                     }
                     SimEvent::Failure(i) => {
                         let entry = cfg.failure_plan[i];
                         cluster.apply(entry.kind, entry.up);
+                    }
+                    SimEvent::TelemetryFlush => {
+                        let hour = at.minute_index() / 60;
+                        hourly_snapshots.push(format!(
+                            "{{\"hour\":{hour},\"snapshot\":{}}}",
+                            json_snapshot(&telemetry.registry)
+                        ));
                     }
                 }
             }
@@ -365,36 +481,66 @@ impl ClusterSim {
             let day_idx = day.min(cfg.end_day) as usize - 1;
             for _ in 0..count {
                 report.total_requests += 1;
+                requests_total.incr();
+                // Deterministic 1-in-N sampling keeps the serving-trace
+                // ring representative without recording every request.
+                let sampled = report.total_requests % SERVING_TRACE_SAMPLE == 1;
+                let mut trace =
+                    sampled.then(|| Trace::new(TraceKind::Serving, report.total_requests));
                 let sample = model.sample_request(t_mid, &mut req_rng);
                 *report.by_region.entry(sample.region).or_insert(0) += 1;
                 let addr = cluster.next_dns_address();
                 let adverts = cluster.adverts(&msirp, addr);
-                let RouteDecision::Site(site) = msirp.route(sample.region, addr, &adverts)
-                else {
+                let RouteDecision::Site(site) = msirp.route(sample.region, addr, &adverts) else {
                     report.failed_requests += 1;
+                    failed_total.incr();
+                    if let Some(mut trace) = trace {
+                        trace.span_with("route", "no-site", t_mid, t_mid);
+                        telemetry.serving.push(trace);
+                    }
                     continue;
                 };
+                if let Some(trace) = trace.as_mut() {
+                    trace.span_with(
+                        "route",
+                        format!(
+                            "region={} site={}",
+                            sample.region.label(),
+                            SITES[site.0].name
+                        ),
+                        t_mid,
+                        t_mid,
+                    );
+                }
                 // Dispatcher picks a node (advisors skip dead ones); with
                 // a single logical cache per site the node only matters
                 // for load accounting.
                 if cluster.site_mut(site).pick_node().is_none() {
                     report.failed_requests += 1;
+                    failed_total.incr();
+                    httpd_metrics[site.0].observe(503, 0);
+                    if let Some(mut trace) = trace {
+                        trace.span_with("dispatch", "no-node", t_mid, t_mid);
+                        telemetry.serving.push(trace);
+                    }
                     continue;
                 }
                 let url = sample.page.to_url();
                 let monitor = &monitors[site.0];
-                let (bytes, mut server_ms) = match monitor.fleet().get_from(0, &url) {
-                    Some(page) => (page.body.len() as u64, 0.5),
+                let (bytes, mut server_ms, cache_hit) = match monitor.fleet().get_from(0, &url) {
+                    Some(page) => (page.body.len() as u64, 0.5, true),
                     None => {
                         let out = monitor.demand_fill(0, sample.page);
-                        (out.body.len() as u64, out.cost_ms)
+                        (out.body.len() as u64, out.cost_ms, false)
                     }
                 };
                 // §2: in the 1996 design the serving processors also ran
                 // the updates, so service slows in the minutes around an
                 // apply (regeneration competes for the same CPUs).
-                let near_update =
-                    (minute as i64).saturating_sub(last_apply_minute[site.0]).unsigned_abs() <= 2;
+                let near_update = (minute as i64)
+                    .saturating_sub(last_apply_minute[site.0])
+                    .unsigned_abs()
+                    <= 2;
                 if cfg.updates_on_serving_nodes && near_update {
                     server_ms = server_ms * 8.0 + 150.0;
                 }
@@ -406,6 +552,19 @@ impl ClusterSim {
                 report.per_minute.incr(t_mid);
                 report.per_site_minute[site.0].incr(t_mid);
                 report.bytes_per_day[day_idx] += bytes as f64;
+                httpd_metrics[site.0].observe(200, bytes);
+                if let Some(mut trace) = trace {
+                    let done = t_mid + SimDuration::from_secs_f64(server_ms / 1_000.0);
+                    trace
+                        .span_with(
+                            "cache_lookup",
+                            if cache_hit { "hit" } else { "miss" },
+                            t_mid,
+                            t_mid,
+                        )
+                        .span_with("render", format!("url={url} bytes={bytes}"), t_mid, done);
+                    telemetry.serving.push(trace);
+                }
 
                 // Response-time sampling: the paper's Figure 22 methodology
                 // (28.8 kbps modem fetching the current home page).
@@ -446,6 +605,22 @@ impl ClusterSim {
             agg.bytes_peak += s.bytes_peak;
         }
         report.cache = agg;
+        report.freshness_hist = freshness_hist.snapshot();
+
+        if let Some(dir) = &cfg.export_dir {
+            // Export failures (read-only fs, missing parents) must not
+            // invalidate a completed multi-minute simulation; the report
+            // itself still carries the full telemetry.
+            let _ = std::fs::create_dir_all(dir);
+            let _ = std::fs::write(
+                dir.join("metrics.prom"),
+                prometheus_text(&telemetry.registry),
+            );
+            let _ = std::fs::write(dir.join("metrics.json"), json_snapshot(&telemetry.registry));
+            let mut lines = hourly_snapshots.join("\n");
+            lines.push('\n');
+            let _ = std::fs::write(dir.join("telemetry_hourly.jsonl"), lines);
+        }
         report
     }
 }
@@ -613,7 +788,10 @@ mod tests {
         );
         // per-site totals sum to the same.
         let site_sum: f64 = report.per_site_totals().iter().sum();
-        assert_eq!(site_sum as u64, report.total_requests - report.failed_requests);
+        assert_eq!(
+            site_sum as u64,
+            report.total_requests - report.failed_requests
+        );
         // Daily paper-unit series covers the configured horizon.
         assert_eq!(report.hits_per_day_paper_millions().len(), 3);
         let (idx, count, paper) = report.peak_minute();
@@ -628,5 +806,81 @@ mod tests {
         assert_eq!(a.total_requests, b.total_requests);
         assert_eq!(a.cache.hits, b.cache.hits);
         assert_eq!(a.per_site_totals(), b.per_site_totals());
+    }
+
+    #[test]
+    fn telemetry_exports_cover_every_subsystem() {
+        let report = ClusterSim::new(quick_config()).run();
+        let text = prometheus_text(&report.telemetry.registry);
+        for needle in [
+            "nagano_cache_hits_total{site=\"Tokyo\"}",
+            "nagano_trigger_txns_total{site=\"Schaumburg\"}",
+            "nagano_trigger_latency_seconds_count{site=\"Columbus\"}",
+            "nagano_httpd_requests_total{site=\"Bethesda\"}",
+            "nagano_cluster_requests_total",
+            "nagano_cluster_freshness_seconds_count",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in export");
+        }
+        let json = json_snapshot(&report.telemetry.registry);
+        assert!(json.contains("\"name\":\"nagano_cluster_freshness_seconds\""));
+        // The registry's counters agree with the report.
+        let requests = report
+            .telemetry
+            .registry
+            .counter("nagano_cluster_requests_total", &[]);
+        assert_eq!(requests.get(), report.total_requests);
+    }
+
+    #[test]
+    fn freshness_percentiles_are_ordered_and_bounded() {
+        let report = ClusterSim::new(quick_config()).run();
+        let h = &report.freshness_hist;
+        assert_eq!(h.count(), report.freshness.count());
+        let (p50, p95, p99) = (h.percentile(50.0), h.percentile(95.0), h.percentile(99.0));
+        assert!(p50 > 0.0 && p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // ~5% bucket error on top of the 60 s design bound.
+        assert!(p99 <= report.freshness_max * 1.06);
+    }
+
+    #[test]
+    fn propagation_traces_are_complete_and_deterministic() {
+        let a = ClusterSim::new(quick_config()).run();
+        let b = ClusterSim::new(quick_config()).run();
+        assert!(!a.telemetry.propagation.is_empty());
+        let slow_a = a.telemetry.propagation.slowest(3);
+        let slow_b = b.telemetry.propagation.slowest(3);
+        // Identical seed ⇒ identical traces, span timestamps included.
+        assert_eq!(slow_a, slow_b);
+        // A complete trace: txn receipt plus distribute/odg/apply per site.
+        let trace = &slow_a[0];
+        assert_eq!(trace.spans.len(), 1 + 3 * SITES.len());
+        assert_eq!(trace.spans[0].name, "txn_receipt");
+        assert!(trace.render().contains("site=Tokyo"));
+        // Serving traces sampled deterministically too.
+        assert!(!a.telemetry.serving.is_empty());
+        assert_eq!(
+            a.telemetry.serving.slowest(3),
+            b.telemetry.serving.slowest(3)
+        );
+    }
+
+    #[test]
+    fn export_dir_receives_hourly_and_final_snapshots() {
+        let dir = std::env::temp_dir().join("nagano-telemetry-test-42");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = quick_config();
+        cfg.export_dir = Some(dir.clone());
+        ClusterSim::new(cfg).run();
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        assert!(prom.contains("nagano_cache_hits_total"));
+        assert!(prom.contains("nagano_httpd_requests_total"));
+        let json = std::fs::read_to_string(dir.join("metrics.json")).unwrap();
+        assert!(json.starts_with("{\"metrics\":["));
+        let hourly = std::fs::read_to_string(dir.join("telemetry_hourly.jsonl")).unwrap();
+        // Two simulated days ⇒ 48 hourly snapshots.
+        assert_eq!(hourly.lines().count(), 48);
+        assert!(hourly.lines().next().unwrap().starts_with("{\"hour\":25,"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -85,12 +85,12 @@ pub fn region_cost(region: Region, site: SiteId) -> u32 {
     // Rows: UsEast, UsWest, Japan, Europe, Oceania, RestOfWorld.
     // Cols: Schaumburg, Columbus, Bethesda, Tokyo.
     const COSTS: [[u32; 4]; 6] = [
-        [12, 8, 6, 40],  // US-East → Columbus/Bethesda
-        [6, 8, 14, 30],  // US-West → Schaumburg/Columbus
-        [35, 38, 40, 2], // Japan → Tokyo
-        [22, 24, 18, 36],// Europe → Bethesda (transatlantic lands east)
-        [34, 36, 38, 12],// Oceania → Tokyo
-        [24, 26, 24, 22],// Rest-of-world → Tokyo/Schaumburg/Bethesda
+        [12, 8, 6, 40],   // US-East → Columbus/Bethesda
+        [6, 8, 14, 30],   // US-West → Schaumburg/Columbus
+        [35, 38, 40, 2],  // Japan → Tokyo
+        [22, 24, 18, 36], // Europe → Bethesda (transatlantic lands east)
+        [34, 36, 38, 12], // Oceania → Tokyo
+        [24, 26, 24, 22], // Rest-of-world → Tokyo/Schaumburg/Bethesda
     ];
     let r = Region::ALL.iter().position(|&x| x == region).unwrap();
     COSTS[r][site.0]
@@ -279,7 +279,12 @@ mod tests {
     #[test]
     fn dead_complex_reroutes_to_next_nearest() {
         let m = Msirp::nagano();
-        let adverts = [Advert::Primary, Advert::Primary, Advert::Primary, Advert::None];
+        let adverts = [
+            Advert::Primary,
+            Advert::Primary,
+            Advert::Primary,
+            Advert::None,
+        ];
         let RouteDecision::Site(s) = m.route(Region::Japan, 0, &adverts) else {
             panic!("must route");
         };
@@ -295,7 +300,12 @@ mod tests {
         // client still lands on Tokyo only if no primary complex is
         // closer... with all other complexes primary, the huge secondary
         // penalty sends the client across the ocean.
-        let adverts = [Advert::Primary, Advert::Primary, Advert::Primary, Advert::Secondary];
+        let adverts = [
+            Advert::Primary,
+            Advert::Primary,
+            Advert::Primary,
+            Advert::Secondary,
+        ];
         assert_eq!(
             m.route(Region::Japan, 0, &adverts),
             RouteDecision::Site(SCHAUMBURG)

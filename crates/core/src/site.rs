@@ -11,9 +11,7 @@ use nagano_db::{seed_games, EventId, GamesConfig, OlympicDb};
 use nagano_httpd::{Handler, Request, Response, Server, ServerConfig};
 use nagano_odg::StalenessPolicy;
 use nagano_pagegen::{PageKey, PageRegistry, Renderer};
-use nagano_trigger::{
-    ConsistencyPolicy, TriggerMonitor, TriggerRunner, TriggerStatsSnapshot,
-};
+use nagano_trigger::{ConsistencyPolicy, TriggerMonitor, TriggerRunner, TriggerStatsSnapshot};
 
 /// Configuration for a serving site.
 #[derive(Debug, Clone)]
@@ -266,6 +264,26 @@ impl ServingSite {
         self.fleet.resync(donor, node)
     }
 
+    /// Register this site's live metric cells — trigger counters, the
+    /// propagation-latency histogram, and per-node cache statistics —
+    /// into a telemetry registry. Counters appear under the
+    /// `nagano_trigger_*` / `nagano_cache_*` names with the given labels
+    /// (cache cells additionally carry a `node` label per fleet member),
+    /// so one registry can hold several sites distinguished by label.
+    pub fn bind_telemetry(
+        &self,
+        registry: &nagano_telemetry::MetricsRegistry,
+        labels: &[(&str, &str)],
+    ) {
+        self.monitor.stats().bind(registry, labels);
+        for (i, member) in self.fleet.members().iter().enumerate() {
+            let node = i.to_string();
+            let mut node_labels: Vec<(&str, &str)> = labels.to_vec();
+            node_labels.push(("node", node.as_str()));
+            member.stats_handle().bind(registry, &node_labels);
+        }
+    }
+
     /// Current metrics.
     pub fn metrics(&self) -> SiteMetrics {
         SiteMetrics {
@@ -326,7 +344,11 @@ mod tests {
         let athletes = s.db().athletes_of_sport(ev.sport);
         s.db().record_results(
             ev.id,
-            &[(athletes[0].id, 10.0), (athletes[1].id, 9.0), (athletes[2].id, 8.0)],
+            &[
+                (athletes[0].id, 10.0),
+                (athletes[1].id, 9.0),
+                (athletes[2].id, 8.0),
+            ],
             true,
             ev.day,
         );
@@ -402,7 +424,10 @@ mod tests {
         let s = site();
         // Node 1 "fails": loses its cache.
         s.fleet().member(1).clear();
-        assert!(!s.handle(1, "/medals").unwrap().cache_hit, "cold after failure");
+        assert!(
+            !s.handle(1, "/medals").unwrap().cache_hit,
+            "cold after failure"
+        );
         // Recovery resyncs from node 0.
         let copied = s.recover_node(1);
         assert_eq!(copied, s.registry().len());
@@ -421,5 +446,23 @@ mod tests {
         let m = s.metrics();
         assert_eq!(m.cache.hits, 2);
         assert_eq!(m.trigger.txns, 0);
+    }
+
+    #[test]
+    fn bind_telemetry_exposes_live_cells() {
+        use nagano_telemetry::{prometheus_text, MetricsRegistry};
+        let s = site();
+        let registry = MetricsRegistry::new();
+        s.bind_telemetry(&registry, &[("site", "test")]);
+        s.handle(0, "/medals");
+        s.handle(0, "/medals");
+        let hits = registry.counter(
+            "nagano_cache_hits_total",
+            &[("site", "test"), ("node", "0")],
+        );
+        assert_eq!(hits.get(), 2);
+        let text = prometheus_text(&registry);
+        assert!(text.contains("nagano_cache_hits_total{node=\"0\",site=\"test\"} 2"));
+        assert!(text.contains("nagano_trigger_txns_total{site=\"test\"} 0"));
     }
 }

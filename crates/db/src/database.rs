@@ -104,7 +104,10 @@ impl OlympicDb {
             label = format!(
                 "{} results for {}",
                 if is_final { "final" } else { "partial" },
-                t.events.get(event).map(|e| e.name.clone()).unwrap_or_default()
+                t.events
+                    .get(event)
+                    .map(|e| e.name.clone())
+                    .unwrap_or_default()
             );
             for (rank0, &(athlete, score)) in placements.iter().enumerate() {
                 t.next_result += 1;
@@ -215,12 +218,22 @@ impl OlympicDb {
 
     /// All sports (id order).
     pub fn sports(&self) -> Vec<Sport> {
-        self.tables.read().sports.iter().map(|(_, s)| s.clone()).collect()
+        self.tables
+            .read()
+            .sports
+            .iter()
+            .map(|(_, s)| s.clone())
+            .collect()
     }
 
     /// All events (id order).
     pub fn events(&self) -> Vec<Event> {
-        self.tables.read().events.iter().map(|(_, e)| e.clone()).collect()
+        self.tables
+            .read()
+            .events
+            .iter()
+            .map(|(_, e)| e.clone())
+            .collect()
     }
 
     /// All countries (id order).
@@ -443,16 +456,18 @@ mod tests {
         let txn = db.record_results(EventId(1), &[(AthleteId(1), 50.0)], false, 3);
         assert_eq!(db.medal_standings()[0].1.total(), 0);
         assert_eq!(db.event(EventId(1)).unwrap().phase, EventPhase::InProgress);
-        assert!(!txn
-            .changes
-            .iter()
-            .any(|c| c.data_key == medals_data_key()));
+        assert!(!txn.changes.iter().any(|c| c.data_key == medals_data_key()));
     }
 
     #[test]
     fn results_queries() {
         let db = tiny_db();
-        db.record_results(EventId(1), &[(AthleteId(1), 1.0), (AthleteId(2), 2.0)], false, 3);
+        db.record_results(
+            EventId(1),
+            &[(AthleteId(1), 1.0), (AthleteId(2), 2.0)],
+            false,
+            3,
+        );
         db.record_results(EventId(1), &[(AthleteId(1), 3.0)], false, 3);
         let by_event = db.results_for_event(EventId(1));
         assert_eq!(by_event.len(), 3);

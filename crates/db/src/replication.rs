@@ -127,7 +127,9 @@ impl Replica {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::{Athlete, AthleteId, Country, CountryId, Event, EventId, EventPhase, Sport, SportId};
+    use crate::schema::{
+        Athlete, AthleteId, Country, CountryId, Event, EventId, EventPhase, Sport, SportId,
+    };
 
     fn master() -> Arc<OlympicDb> {
         let db = OlympicDb::new();

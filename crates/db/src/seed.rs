@@ -99,14 +99,48 @@ const COUNTRY_CODES: &[(&str, &str)] = &[
 ];
 
 const GIVEN: &[&str] = &[
-    "Tara", "Hermann", "Kazuyoshi", "Bjørn", "Larisa", "Masahiko", "Katja", "Ross", "Gianni",
-    "Marit", "Pavel", "Annika", "Jean-Luc", "Hyun-Soo", "Mika", "Olga", "Stefan", "Yuki",
-    "Ingrid", "Tomas",
+    "Tara",
+    "Hermann",
+    "Kazuyoshi",
+    "Bjørn",
+    "Larisa",
+    "Masahiko",
+    "Katja",
+    "Ross",
+    "Gianni",
+    "Marit",
+    "Pavel",
+    "Annika",
+    "Jean-Luc",
+    "Hyun-Soo",
+    "Mika",
+    "Olga",
+    "Stefan",
+    "Yuki",
+    "Ingrid",
+    "Tomas",
 ];
 const FAMILY: &[&str] = &[
-    "Lipinski", "Maier", "Funaki", "Dæhlie", "Lazutina", "Harada", "Seizinger", "Rebagliati",
-    "Romme", "Bjørgen", "Novak", "Svensson", "Brassard", "Kim", "Myllylä", "Danilova",
-    "Eberharter", "Sato", "Olsen", "Dvorak",
+    "Lipinski",
+    "Maier",
+    "Funaki",
+    "Dæhlie",
+    "Lazutina",
+    "Harada",
+    "Seizinger",
+    "Rebagliati",
+    "Romme",
+    "Bjørgen",
+    "Novak",
+    "Svensson",
+    "Brassard",
+    "Kim",
+    "Myllylä",
+    "Danilova",
+    "Eberharter",
+    "Sato",
+    "Olsen",
+    "Dvorak",
 ];
 
 /// Populate `db` with a synthetic Games and return the ids of the marquee
@@ -153,11 +187,10 @@ pub fn seed_games(db: &OlympicDb, config: &GamesConfig) -> (EventId, EventId) {
         let span = config.days.saturating_sub(2).max(1) as f64;
         let frac = (i as f64 + 0.5) / config.events.max(1) as f64;
         // Triangular ramp: density grows linearly toward ~70% of the Games.
-        let day = 2 + (frac.sqrt() * 0.72 * span
-            + rng.f64() * 0.28 * span) as u32;
+        let day = 2 + (frac.sqrt() * 0.72 * span + rng.f64() * 0.28 * span) as u32;
         let day = day.min(config.days);
         let hour = 9 + rng.index(11) as u32; // 9:00 .. 19:00 local
-        // Popularity: log-normal-ish base, boosted for marquee disciplines.
+                                             // Popularity: log-normal-ish base, boosted for marquee disciplines.
         let mut popularity = (1.0 + rng.f64() * 3.0).powi(2) / 4.0;
         let sport_name = DISCIPLINES[sport_idx].0;
         let round = i / n_sports as u32 + 1;

@@ -96,7 +96,9 @@ impl TxnLog {
             day,
         });
         inner.entries.push(Arc::clone(&txn));
-        inner.subscribers.retain(|s| s.send(Arc::clone(&txn)).is_ok());
+        inner
+            .subscribers
+            .retain(|s| s.send(Arc::clone(&txn)).is_ok());
         txn
     }
 

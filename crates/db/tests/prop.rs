@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 
-use nagano_db::{
-    seed_games, AthleteId, EventId, GamesConfig, NewsArticle, NewsId, OlympicDb,
-};
+use nagano_db::{seed_games, AthleteId, EventId, GamesConfig, NewsArticle, NewsId, OlympicDb};
 
 #[derive(Debug, Clone)]
 enum Op {

@@ -223,9 +223,8 @@ mod tests {
     use crate::server::{Handler, Server, ServerConfig};
 
     fn tiny_server() -> Server {
-        let handler: Arc<dyn Handler> = Arc::new(|_req: &Request| {
-            Response::html(Bytes::from_static(b"<html>ok</html>"))
-        });
+        let handler: Arc<dyn Handler> =
+            Arc::new(|_req: &Request| Response::html(Bytes::from_static(b"<html>ok</html>")));
         Server::bind("127.0.0.1:0", handler, ServerConfig::default()).unwrap()
     }
 

@@ -15,6 +15,8 @@
 //!   used by the `throughput` experiment (real sockets, real bytes).
 //! * [`log`] — NCSA Common Log Format access logging and the log
 //!   aggregations that drove the paper's 1998 redesign (§3.1).
+//! * [`metrics`] — per-endpoint request counters ([`HttpdMetrics`]) that
+//!   bind into the shared telemetry registry as `nagano_httpd_*`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,9 +24,11 @@
 pub mod client;
 pub mod http;
 pub mod log;
+pub mod metrics;
 pub mod server;
 
 pub use client::{HttpClient, LoadReport, LoadRunner};
 pub use http::{Request, Response, Status};
 pub use log::{AccessLog, LogAnalysis, LogEntry};
+pub use metrics::HttpdMetrics;
 pub use server::{Handler, RequestObserver, Server, ServerConfig};

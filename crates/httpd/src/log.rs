@@ -31,16 +31,69 @@ pub struct LogEntry {
     pub bytes: u64,
 }
 
+/// Percent-encode the characters that would break CLF framing: `%`
+/// (the escape itself), space (the request-line separator), and `"` (the
+/// request-line delimiter).
+fn escape_clf_path(path: &str) -> String {
+    let mut out = String::with_capacity(path.len());
+    for c in path.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '"' => out.push_str("%22"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`escape_clf_path`]. Only the three sequences the writer emits
+/// are decoded; anything else passes through untouched, so externally
+/// produced logs are not mangled.
+fn unescape_clf_path(path: &str) -> String {
+    let mut out = String::with_capacity(path.len());
+    let bytes = path.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes.get(i..i + 3) {
+            Some(b"%25") => {
+                out.push('%');
+                i += 3;
+            }
+            Some(b"%20") => {
+                out.push(' ');
+                i += 3;
+            }
+            Some(b"%22") => {
+                out.push('"');
+                i += 3;
+            }
+            _ => {
+                let c = path[i..].chars().next().expect("in-bounds char");
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    out
+}
+
 impl LogEntry {
     /// Render in NCSA Common Log Format (ident/authuser always `-`;
     /// the timestamp renders as `[<epoch_secs>]` — simulations have no
-    /// calendar).
+    /// calendar). Paths are percent-encoded so spaces and quotes survive
+    /// a [`LogEntry::parse_clf`] round trip.
     pub fn to_clf(&self) -> String {
         let mut line = String::with_capacity(64);
         let _ = write!(
             line,
             "{} - - [{}] \"{} {} HTTP/1.1\" {} {}",
-            self.host, self.epoch_secs, self.method, self.path, self.status, self.bytes
+            self.host,
+            self.epoch_secs,
+            self.method,
+            escape_clf_path(&self.path),
+            self.status,
+            self.bytes
         );
         line
     }
@@ -58,7 +111,7 @@ impl LogEntry {
         let (request, tail) = after.split_once('"')?;
         let mut req_parts = request.split_whitespace();
         let method = req_parts.next()?.to_string();
-        let path = req_parts.next()?.to_string();
+        let path = unescape_clf_path(req_parts.next()?);
         let mut tail_parts = tail.split_whitespace();
         let status = tail_parts.next()?.parse().ok()?;
         let bytes = tail_parts.next()?.parse().ok()?;
@@ -145,11 +198,8 @@ impl LogAnalysis {
     /// The `n` most-requested paths, descending (ties by path for
     /// determinism).
     pub fn top_pages(&self, n: usize) -> Vec<(String, u64)> {
-        let mut all: Vec<(String, u64)> = self
-            .by_path
-            .iter()
-            .map(|(p, &c)| (p.clone(), c))
-            .collect();
+        let mut all: Vec<(String, u64)> =
+            self.by_path.iter().map(|(p, &c)| (p.clone(), c)).collect();
         all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         all.truncate(n);
         all
@@ -215,8 +265,32 @@ mod tests {
     }
 
     #[test]
+    fn clf_roundtrip_escapes_spaces_and_quotes() {
+        for path in [
+            "/athletes/\"ski jumping\"",
+            "/a path/with spaces",
+            "/literal%20not-a-space",
+            "/percent%/trailing%2",
+            "/quote\"inside",
+        ] {
+            let e = entry(path, 5, 200, 1);
+            let line = e.to_clf();
+            assert!(
+                !line.contains(' ') || LogEntry::parse_clf(&line) == Some(e.clone()),
+                "path {path:?} did not round-trip via {line:?}"
+            );
+            assert_eq!(LogEntry::parse_clf(&line), Some(e), "line {line:?}");
+        }
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
-        for bad in ["", "nonsense", "a - - [x] \"GET /\" 200 1", "a - - [1] GET / 200"] {
+        for bad in [
+            "",
+            "nonsense",
+            "a - - [x] \"GET /\" 200 1",
+            "a - - [1] GET / 200",
+        ] {
             assert_eq!(LogEntry::parse_clf(bad), None, "{bad:?}");
         }
     }

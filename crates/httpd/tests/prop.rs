@@ -8,6 +8,7 @@ use bytes::Bytes;
 use proptest::prelude::*;
 
 use nagano_httpd::http::{read_request, read_response_full, Response, Status};
+use nagano_httpd::LogEntry;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -67,6 +68,28 @@ proptest! {
         prop_assert_eq!(code, 200);
         prop_assert_eq!(parsed_body.to_vec(), body);
         prop_assert_eq!(parsed_etag, etag);
+    }
+
+    /// CLF lines round-trip for paths containing spaces, quotes, and
+    /// percent signs (the writer escapes, the parser unescapes).
+    #[test]
+    fn clf_roundtrips_hostile_paths(
+        host in "[a-z0-9.]{1,20}",
+        epoch_secs in any::<u64>(),
+        path in "/[ -~]{0,60}",
+        status in 100..600u16,
+        bytes in any::<u64>(),
+    ) {
+        let entry = LogEntry {
+            host,
+            epoch_secs,
+            method: "GET".to_string(),
+            path,
+            status,
+            bytes,
+        };
+        let line = entry.to_clf();
+        prop_assert_eq!(LogEntry::parse_clf(&line), Some(entry));
     }
 
     /// Every status code serialises to a parseable status line.

@@ -26,8 +26,7 @@ use crate::graph::{NodeId, NodeKind, Odg, OdgError};
 use crate::simple::SimpleOdg;
 
 /// How accumulated staleness maps to the stale/tolerated verdict.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum StalenessPolicy {
     /// Every affected object is stale, regardless of weight.
     #[default]
@@ -98,7 +97,6 @@ pub struct DupEngine {
     /// which it was built.
     simple_cache: Option<(u64, bool, SimpleOdg)>,
 }
-
 
 impl DupEngine {
     /// New engine with an empty graph and the [`StalenessPolicy::Strict`]
@@ -228,9 +226,7 @@ impl DupEngine {
                 // not appear in the result.
                 let staleness: FxHashMap<NodeId, f64> = acc
                     .into_iter()
-                    .filter(|(id, _)| {
-                        self.odg.kind(*id).map(NodeKind::is_object).unwrap_or(false)
-                    })
+                    .filter(|(id, _)| self.odg.kind(*id).map(NodeKind::is_object).unwrap_or(false))
                     .collect();
                 self.finish(staleness, visited)
             }
@@ -382,7 +378,9 @@ mod tests {
     #[test]
     fn simple_cache_invalidates_on_mutation() {
         let mut e = DupEngine::new();
-        e.graph_mut().add_node(n(1), NodeKind::UnderlyingData).unwrap();
+        e.graph_mut()
+            .add_node(n(1), NodeKind::UnderlyingData)
+            .unwrap();
         e.graph_mut().add_node(n(2), NodeKind::Object).unwrap();
         e.graph_mut().add_edge(n(1), n(2), 1.0).unwrap();
         assert!(e.propagate_ids(&[n(1)]).used_simple_path);
@@ -419,7 +417,9 @@ mod tests {
         // Regression: a change to an *object* node in a simple graph must
         // mark that object stale, exactly as the general traversal does.
         let mut e = DupEngine::new();
-        e.graph_mut().add_node(n(1), NodeKind::UnderlyingData).unwrap();
+        e.graph_mut()
+            .add_node(n(1), NodeKind::UnderlyingData)
+            .unwrap();
         e.graph_mut().add_node(n(2), NodeKind::Object).unwrap();
         e.graph_mut().add_node(n(3), NodeKind::Object).unwrap();
         e.graph_mut().add_edge(n(1), n(2), 1.0).unwrap();
@@ -467,7 +467,9 @@ mod tests {
     #[test]
     fn change_with_no_dependents() {
         let mut e = DupEngine::new();
-        e.graph_mut().add_node(n(1), NodeKind::UnderlyingData).unwrap();
+        e.graph_mut()
+            .add_node(n(1), NodeKind::UnderlyingData)
+            .unwrap();
         let p = e.propagate_ids(&[n(1)]);
         assert_eq!(p.affected_count(), 0);
     }

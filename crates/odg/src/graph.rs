@@ -227,7 +227,10 @@ impl Odg {
         if !self.nodes.contains_key(&to) {
             return Err(OdgError::UnknownNode(to));
         }
-        let node = self.nodes.get_mut(&from).ok_or(OdgError::UnknownNode(from))?;
+        let node = self
+            .nodes
+            .get_mut(&from)
+            .ok_or(OdgError::UnknownNode(from))?;
         if let Some(e) = node.out.iter_mut().find(|e| e.to == to) {
             e.weight = weight;
         } else {
@@ -293,9 +296,7 @@ impl Odg {
     pub fn is_simple(&self) -> bool {
         self.nodes.iter().all(|(_, n)| match n.kind {
             NodeKind::Hybrid => false,
-            NodeKind::UnderlyingData => {
-                n.preds.is_empty() && n.out.iter().all(|e| e.weight == 1.0)
-            }
+            NodeKind::UnderlyingData => n.preds.is_empty() && n.out.iter().all(|e| e.weight == 1.0),
             NodeKind::Object => n.out.is_empty(),
         })
     }
@@ -409,7 +410,10 @@ impl Odg {
                     return Err(format!("edge {id}->{} points at a missing node", e.to));
                 };
                 if !succ.preds.contains(&id) {
-                    return Err(format!("edge {id}->{} missing from reverse adjacency", e.to));
+                    return Err(format!(
+                        "edge {id}->{} missing from reverse adjacency",
+                        e.to
+                    ));
                 }
             }
             for &p in &node.preds {
@@ -549,8 +553,14 @@ mod tests {
     fn edges_to_unknown_nodes_rejected() {
         let mut g = Odg::new();
         g.add_node(n(1), NodeKind::UnderlyingData).unwrap();
-        assert_eq!(g.add_edge(n(1), n(2), 1.0), Err(OdgError::UnknownNode(n(2))));
-        assert_eq!(g.add_edge(n(3), n(1), 1.0), Err(OdgError::UnknownNode(n(3))));
+        assert_eq!(
+            g.add_edge(n(1), n(2), 1.0),
+            Err(OdgError::UnknownNode(n(2)))
+        );
+        assert_eq!(
+            g.add_edge(n(3), n(1), 1.0),
+            Err(OdgError::UnknownNode(n(3)))
+        );
     }
 
     #[test]
@@ -605,10 +615,7 @@ mod tests {
     #[test]
     fn ensure_node_upgrades_to_hybrid() {
         let mut g = Odg::new();
-        assert_eq!(
-            g.ensure_node(n(1), NodeKind::Object),
-            NodeKind::Object
-        );
+        assert_eq!(g.ensure_node(n(1), NodeKind::Object), NodeKind::Object);
         assert_eq!(
             g.ensure_node(n(1), NodeKind::UnderlyingData),
             NodeKind::Hybrid
@@ -730,7 +737,10 @@ mod tests {
         let snap = g.snapshot();
         assert_eq!(snap.nodes.len(), 7);
         assert_eq!(snap.edges.len(), 7);
-        assert!(snap.edges.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)));
+        assert!(snap
+            .edges
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)));
         // Round-trips through JSON.
         let json = serde_json::to_string(&snap).unwrap();
         let back: OdgSnapshot = serde_json::from_str(&json).unwrap();

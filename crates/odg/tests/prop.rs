@@ -18,9 +18,8 @@ struct DagSpec {
 
 fn dag_strategy(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = DagSpec> {
     (2..=max_nodes).prop_flat_map(move |n| {
-        let edge = (0..n - 1).prop_flat_map(move |from| {
-            ((from + 1)..n).prop_map(move |to| (from, to))
-        });
+        let edge =
+            (0..n - 1).prop_flat_map(move |from| ((from + 1)..n).prop_map(move |to| (from, to)));
         proptest::collection::vec((edge, 1..=8u32), 0..max_edges).prop_map(move |raw| {
             // Deduplicate (from, to) pairs, last weight winning — matching
             // `Odg::add_edge`'s re-weighting semantics.

@@ -113,7 +113,12 @@ mod tests {
     #[test]
     fn static_costs_in_paper_band() {
         let m = CostModel::new();
-        for key in [PageKey::Welcome, PageKey::Nagano, PageKey::Fun, PageKey::Venue(SportId(3))] {
+        for key in [
+            PageKey::Welcome,
+            PageKey::Nagano,
+            PageKey::Fun,
+            PageKey::Venue(SportId(3)),
+        ] {
             let c = m.cost_ms(key);
             assert!((2.0..10.0).contains(&c), "static cost {c}");
         }
@@ -150,7 +155,10 @@ mod tests {
         let scaled = CostModel { dynamic_scale: 2.0 };
         let k = PageKey::Event(EventId(1));
         assert!((scaled.cost_ms(k) / base.cost_ms(k) - 2.0).abs() < 1e-12);
-        assert_eq!(scaled.cost_ms(PageKey::Welcome), base.cost_ms(PageKey::Welcome));
+        assert_eq!(
+            scaled.cost_ms(PageKey::Welcome),
+            base.cost_ms(PageKey::Welcome)
+        );
     }
 
     #[test]

@@ -112,9 +112,9 @@ impl PageKey {
             Some("nagano") => PageKey::Nagano,
             Some("fun") => PageKey::Fun,
             Some("fragments") => match parts.next()? {
-                "results" => {
-                    PageKey::Fragment(FragmentKey::ResultTable(EventId(parts.next()?.parse().ok()?)))
-                }
+                "results" => PageKey::Fragment(FragmentKey::ResultTable(EventId(
+                    parts.next()?.parse().ok()?,
+                ))),
                 "medals" => PageKey::Fragment(FragmentKey::MedalTable),
                 "headlines" => {
                     PageKey::Fragment(FragmentKey::Headlines(parts.next()?.parse().ok()?))
@@ -133,7 +133,10 @@ impl PageKey {
     /// Whether this page is dynamic (built from database content) or
     /// static (served as-is).
     pub fn is_dynamic(self) -> bool {
-        !matches!(self, PageKey::Welcome | PageKey::Nagano | PageKey::Fun | PageKey::Venue(_))
+        !matches!(
+            self,
+            PageKey::Welcome | PageKey::Nagano | PageKey::Fun | PageKey::Venue(_)
+        )
     }
 
     /// Content category (the paper's nine categories; fragments report the
@@ -211,10 +214,7 @@ mod tests {
     #[test]
     fn object_key_prefixes_url() {
         assert_eq!(PageKey::Medals.object_key(), "page:/medals");
-        assert_eq!(
-            PageKey::Event(EventId(3)).object_key(),
-            "page:/events/3"
-        );
+        assert_eq!(PageKey::Event(EventId(3)).object_key(), "page:/events/3");
     }
 
     #[test]
@@ -232,7 +232,17 @@ mod tests {
     fn categories_cover_the_paper_list() {
         use std::collections::HashSet;
         let cats: HashSet<&str> = all_sample_keys().iter().map(|k| k.category()).collect();
-        for want in ["Today", "Welcome", "News", "Venues", "Sports", "Countries", "Athletes", "Nagano", "Fun"] {
+        for want in [
+            "Today",
+            "Welcome",
+            "News",
+            "Venues",
+            "Sports",
+            "Countries",
+            "Athletes",
+            "Nagano",
+            "Fun",
+        ] {
             assert!(cats.contains(want), "missing category {want}");
         }
     }

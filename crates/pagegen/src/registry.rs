@@ -65,10 +65,7 @@ impl PageRegistry {
         }
         for event in db.events() {
             push(PageKey::Event(event.id), 10.0 * event.popularity);
-            push(
-                PageKey::Fragment(FragmentKey::ResultTable(event.id)),
-                0.5,
-            );
+            push(PageKey::Fragment(FragmentKey::ResultTable(event.id)), 0.5);
         }
         for (i, country) in db.countries().iter().enumerate() {
             // Zipf-ish tail over countries.
@@ -194,7 +191,11 @@ mod tests {
         // 2,300 athletes + 72 countries + 68×2 events/fragments + … —
         // the per-language page space is in the thousands (the paper's
         // 21,000 counts two full languages plus news archives).
-        assert!(reg.dynamic_count() > 2_500, "dynamic {}", reg.dynamic_count());
+        assert!(
+            reg.dynamic_count() > 2_500,
+            "dynamic {}",
+            reg.dynamic_count()
+        );
         assert!(reg.len() > reg.dynamic_count());
     }
 

@@ -131,7 +131,10 @@ impl Renderer {
     fn compose(&self, key: PageKey, html: &mut String, deps: &mut Vec<Dependency>) -> String {
         match key {
             PageKey::Home(day) => {
-                deps.push(Dependency::weighted(nagano_db::schema::today_data_key(day), 2.0));
+                deps.push(Dependency::weighted(
+                    nagano_db::schema::today_data_key(day),
+                    2.0,
+                ));
                 // Embedded fragments: medal table, headlines, and the
                 // result tables of every event concluding today. Fragment
                 // dependencies use the fragment *object* key (hybrid
@@ -187,7 +190,10 @@ impl Renderer {
             PageKey::Sport(s) => {
                 deps.push(Dependency::new(nagano_db::SportId(s.0).data_key()));
                 let sport = self.db.sport(s);
-                let name = sport.as_ref().map(|x| x.name.clone()).unwrap_or_else(|| "Unknown sport".into());
+                let name = sport
+                    .as_ref()
+                    .map(|x| x.name.clone())
+                    .unwrap_or_else(|| "Unknown sport".into());
                 let _ = writeln!(html, "<h2>{name}</h2>");
                 for event in self.db.events_of_sport(s) {
                     deps.push(Dependency::new(
@@ -210,7 +216,10 @@ impl Renderer {
                 ));
                 self.inline_fragment(FragmentKey::ResultTable(e), html);
                 let event = self.db.event(e);
-                let name = event.as_ref().map(|x| x.name.clone()).unwrap_or_else(|| "Unknown event".into());
+                let name = event
+                    .as_ref()
+                    .map(|x| x.name.clone())
+                    .unwrap_or_else(|| "Unknown event".into());
                 let _ = writeln!(html, "<h2>{name}</h2>");
                 for photo in self.db.photos_for_event(e) {
                     deps.push(Dependency::weighted(photo.id.data_key(), 0.5));
@@ -233,7 +242,10 @@ impl Renderer {
                 // The country page shows its medal box: a change to the
                 // standings slightly affects every country page (weight
                 // below 1 lets the threshold policy tolerate it).
-                deps.push(Dependency::weighted(nagano_db::schema::medals_data_key(), 0.25));
+                deps.push(Dependency::weighted(
+                    nagano_db::schema::medals_data_key(),
+                    0.25,
+                ));
                 let country = self.db.country(c);
                 let name = country.map(|x| x.name).unwrap_or_else(|| "Unknown".into());
                 let _ = writeln!(html, "<h2>{name}</h2>");
@@ -250,7 +262,10 @@ impl Renderer {
             PageKey::Athlete(a) => {
                 deps.push(Dependency::new(a.data_key()));
                 let athlete = self.db.athlete(a);
-                let name = athlete.as_ref().map(|x| x.name.clone()).unwrap_or_else(|| "Unknown".into());
+                let name = athlete
+                    .as_ref()
+                    .map(|x| x.name.clone())
+                    .unwrap_or_else(|| "Unknown".into());
                 let _ = writeln!(html, "<h2>{name}</h2>");
                 for r in self.db.results_for_athlete(a) {
                     let _ = writeln!(
@@ -275,7 +290,11 @@ impl Renderer {
                 deps.push(Dependency::new(n.data_key()));
                 match self.db.news(n) {
                     Some(article) => {
-                        let _ = writeln!(html, "<h2>{}</h2><article>{}</article>", article.title, article.body);
+                        let _ = writeln!(
+                            html,
+                            "<h2>{}</h2><article>{}</article>",
+                            article.title, article.body
+                        );
                         if let Some(ev) = article.about_event {
                             let _ = writeln!(
                                 html,
@@ -316,7 +335,10 @@ impl Renderer {
                 "Nagano".into()
             }
             PageKey::Fun => {
-                let _ = writeln!(html, "<h2>Fun &amp; Games</h2><p>Activities for children.</p>");
+                let _ = writeln!(
+                    html,
+                    "<h2>Fun &amp; Games</h2><p>Activities for children.</p>"
+                );
                 "Fun".into()
             }
             PageKey::Fragment(f) => self.compose_fragment(f, html, deps),
@@ -376,7 +398,10 @@ impl Renderer {
                 "Medal Table".into()
             }
             FragmentKey::Headlines(day) => {
-                deps.push(Dependency::weighted(nagano_db::schema::today_data_key(day), 0.5));
+                deps.push(Dependency::weighted(
+                    nagano_db::schema::today_data_key(day),
+                    0.5,
+                ));
                 let _ = writeln!(html, "<ul class=\"headlines\">");
                 for article in self.db.news_on_day(day).iter().take(8) {
                     deps.push(Dependency::new(article.id.data_key()));

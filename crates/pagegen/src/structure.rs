@@ -163,8 +163,10 @@ mod tests {
     #[test]
     fn redesign_cuts_requests_by_about_3x() {
         let mut r = rng();
-        let (avg96, _) = NavigationModel::new(SiteStructure::Design96).average_requests(20_000, &mut r);
-        let (avg98, _) = NavigationModel::new(SiteStructure::Design98).average_requests(20_000, &mut r);
+        let (avg96, _) =
+            NavigationModel::new(SiteStructure::Design96).average_requests(20_000, &mut r);
+        let (avg98, _) =
+            NavigationModel::new(SiteStructure::Design98).average_requests(20_000, &mut r);
         let ratio = avg96 / avg98;
         assert!(
             (2.2..4.0).contains(&ratio),

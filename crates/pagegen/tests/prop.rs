@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 
-use nagano_db::{seed_games, AthleteId, CountryId, EventId, GamesConfig, NewsId, OlympicDb, SportId};
+use nagano_db::{
+    seed_games, AthleteId, CountryId, EventId, GamesConfig, NewsId, OlympicDb, SportId,
+};
 use nagano_pagegen::{FragmentKey, PageKey, Renderer};
 
 fn arbitrary_key() -> impl Strategy<Value = PageKey> {

@@ -226,7 +226,10 @@ mod tests {
         let det = link.estimate(50_000, SimDuration::ZERO).response_secs;
         let n = 5_000;
         let mean: f64 = (0..n)
-            .map(|_| link.sample(50_000, SimDuration::ZERO, &mut rng).response_secs)
+            .map(|_| {
+                link.sample(50_000, SimDuration::ZERO, &mut rng)
+                    .response_secs
+            })
             .sum::<f64>()
             / n as f64;
         // Log-normal mean is det * exp(sigma^2/2) ~ det * 1.005.

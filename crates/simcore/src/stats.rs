@@ -197,6 +197,31 @@ impl Histogram {
         self.percentile(50.0)
     }
 
+    /// Sum of raw observations (exact, via Welford).
+    pub fn sum(&self) -> f64 {
+        self.welford.sum()
+    }
+
+    /// Occupied buckets as `(upper_bound, cumulative_count)` pairs in
+    /// ascending bound order — the shape a Prometheus histogram exporter
+    /// needs (`le` labels). Underflow observations appear under a bound of
+    /// `min_value`; empty buckets are skipped.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = self.underflow;
+        if self.underflow > 0 {
+            out.push((self.min_value, cum));
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                let hi = self.min_value * (self.log_base * (i + 1) as f64).exp();
+                out.push((hi, cum));
+            }
+        }
+        out
+    }
+
     /// Fraction of observations strictly above `x` (bucket-resolution:
     /// the bucket containing `x` counts as below).
     pub fn fraction_above(&self, x: f64) -> f64 {
@@ -207,11 +232,7 @@ impl Histogram {
             return (self.count - self.underflow) as f64 / self.count as f64;
         }
         let idx = ((x / self.min_value).ln() / self.log_base) as usize;
-        let above: u64 = self
-            .buckets
-            .iter()
-            .skip(idx + 1)
-            .sum();
+        let above: u64 = self.buckets.iter().skip(idx + 1).sum();
         above as f64 / self.count as f64
     }
 
@@ -281,11 +302,10 @@ impl TimeSeries {
 
     /// Largest bin value and its index.
     pub fn peak(&self) -> (usize, f64) {
-        self.bins
-            .iter()
-            .copied()
-            .enumerate()
-            .fold((0, 0.0), |best, (i, v)| if v > best.1 { (i, v) } else { best })
+        self.bins.iter().copied().enumerate().fold(
+            (0, 0.0),
+            |best, (i, v)| if v > best.1 { (i, v) } else { best },
+        )
     }
 
     /// Re-bin into wider bins, summing (e.g. minutes → hours).
@@ -440,6 +460,27 @@ mod tests {
     fn empty_histogram_percentile_is_zero() {
         let h = Histogram::for_latency();
         assert_eq!(h.percentile(50.0), 0.0);
+        assert!(h.cumulative_buckets().is_empty());
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn cumulative_buckets_cover_all_observations() {
+        let mut h = Histogram::new(1.0, 100.0);
+        h.record(0.5); // underflow
+        for i in 1..=50 {
+            h.record(i as f64);
+        }
+        let buckets = h.cumulative_buckets();
+        // Monotone bounds and counts, ending at the total.
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(buckets.last().unwrap().1, h.count());
+        // Underflow is reported under the min bound.
+        assert_eq!(buckets[0], (1.0, 1));
+        assert!((h.sum() - (0.5 + (1..=50).sum::<u64>() as f64)).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Exporters: Prometheus text format and JSON snapshots.
+//!
+//! Both walk [`MetricsRegistry::samples`], which is deterministically
+//! ordered, so two exports of the same state are byte-identical — the
+//! property the reproducibility tests and `EXPERIMENTS.md` diffs rely on.
+//! The JSON writer is hand-rolled (no serde dependency): the schema is
+//! flat and the values are already escaped/limited here.
+
+use std::fmt::Write as _;
+
+use nagano_simcore::Histogram;
+
+use crate::registry::{Labels, MetricSample, MetricValue, MetricsRegistry};
+
+/// Render every registered metric in the Prometheus text exposition
+/// format (`# TYPE` per metric name; histograms expand to `_bucket` /
+/// `_sum` / `_count` series with cumulative `le` labels).
+pub fn prometheus_text(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<String> = None;
+    for sample in registry.samples() {
+        if last_name.as_deref() != Some(sample.name.as_str()) {
+            let kind = match sample.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {} {kind}", sample.name);
+            last_name = Some(sample.name.clone());
+        }
+        match &sample.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {v}",
+                    sample.name,
+                    label_set(&sample.labels, None)
+                );
+            }
+            MetricValue::Histogram(h) => append_prometheus_histogram(&mut out, &sample, h),
+        }
+    }
+    out
+}
+
+fn append_prometheus_histogram(out: &mut String, sample: &MetricSample, h: &Histogram) {
+    for (bound, cumulative) in h.cumulative_buckets() {
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {cumulative}",
+            sample.name,
+            label_set(&sample.labels, Some(&format!("{bound}")))
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{}_bucket{} {}",
+        sample.name,
+        label_set(&sample.labels, Some("+Inf")),
+        h.count()
+    );
+    let _ = writeln!(
+        out,
+        "{}_sum{} {}",
+        sample.name,
+        label_set(&sample.labels, None),
+        finite(h.sum())
+    );
+    let _ = writeln!(
+        out,
+        "{}_count{} {}",
+        sample.name,
+        label_set(&sample.labels, None),
+        h.count()
+    );
+}
+
+/// Render `{a="1",b="2"}` (empty string when there are no labels), with an
+/// optional trailing `le` label for histogram buckets.
+fn label_set(labels: &Labels, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn prom_escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render every registered metric as a JSON document:
+/// `{"metrics": [{"name", "labels", "kind", ...}, ...]}`. Counters and
+/// gauges carry `"value"`; histograms carry count/sum/mean/min/max and
+/// p50/p95/p99/p999.
+pub fn json_snapshot(registry: &MetricsRegistry) -> String {
+    let mut out = String::from("{\"metrics\":[");
+    for (i, sample) in registry.samples().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"labels\":{{{}}}",
+            json_escape(&sample.name),
+            sample
+                .labels
+                .iter()
+                .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        match &sample.value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, ",\"kind\":\"counter\",\"value\":{v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = write!(out, ",\"kind\":\"gauge\",\"value\":{v}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"mean\":{},\
+                     \"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{}",
+                    h.count(),
+                    finite(h.sum()),
+                    finite(h.mean()),
+                    finite(h.min()),
+                    finite(h.max()),
+                    finite(h.percentile(50.0)),
+                    finite(h.percentile(95.0)),
+                    finite(h.percentile(99.0)),
+                    finite(h.percentile(99.9)),
+                );
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Format a float for JSON: non-finite values (empty-histogram min/max)
+/// collapse to 0.
+fn finite(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("nagano_cache_hits_total", &[("site", "tokyo")])
+            .add(42);
+        reg.gauge("nagano_cache_bytes", &[("site", "tokyo")])
+            .set(1024);
+        let h = reg.histogram("nagano_trigger_freshness_seconds", &[], 1e-3, 100.0);
+        for i in 1..=100 {
+            h.record(i as f64 / 10.0); // 0.1 .. 10 s
+        }
+        reg
+    }
+
+    #[test]
+    fn prometheus_text_has_types_labels_and_buckets() {
+        let text = prometheus_text(&sample_registry());
+        assert!(text.contains("# TYPE nagano_cache_hits_total counter"));
+        assert!(text.contains("nagano_cache_hits_total{site=\"tokyo\"} 42"));
+        assert!(text.contains("# TYPE nagano_cache_bytes gauge"));
+        assert!(text.contains("nagano_cache_bytes{site=\"tokyo\"} 1024"));
+        assert!(text.contains("# TYPE nagano_trigger_freshness_seconds histogram"));
+        assert!(text.contains("nagano_trigger_freshness_seconds_bucket{le=\"+Inf\"} 100"));
+        assert!(text.contains("nagano_trigger_freshness_seconds_count 100"));
+        // Cumulative bucket lines are monotone in count.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("nagano_trigger_freshness_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn json_snapshot_is_valid_and_complete() {
+        let json = json_snapshot(&sample_registry());
+        assert!(json.starts_with("{\"metrics\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"nagano_cache_hits_total\""));
+        assert!(json.contains("\"labels\":{\"site\":\"tokyo\"}"));
+        assert!(json.contains("\"kind\":\"histogram\""));
+        assert!(json.contains("\"p95\":"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = sample_registry();
+        let b = sample_registry();
+        assert_eq!(prometheus_text(&a), prometheus_text(&b));
+        assert_eq!(json_snapshot(&a), json_snapshot(&b));
+    }
+
+    #[test]
+    fn empty_registry_exports_cleanly() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(prometheus_text(&reg), "");
+        assert_eq!(json_snapshot(&reg), "{\"metrics\":[]}");
+        // An empty histogram exports zeros, not inf.
+        reg.histogram("h", &[], 1e-3, 1.0);
+        let json = json_snapshot(&reg);
+        assert!(json.contains("\"count\":0"));
+        assert!(json.contains("\"max\":0"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m", &[("path", "/a \"b\"")]).incr();
+        let text = prometheus_text(&reg);
+        assert!(text.contains("path=\"/a \\\"b\\\"\""));
+        let json = json_snapshot(&reg);
+        assert!(json.contains("\"path\":\"/a \\\"b\\\"\""));
+    }
+}

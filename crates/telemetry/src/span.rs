@@ -1,0 +1,296 @@
+//! Structured traces over simulated time.
+//!
+//! A [`Trace`] is an ordered list of named [`Span`]s sharing one logical
+//! transaction or request: the *propagation trace* follows a database
+//! commit through ODG traversal, the regenerate/invalidate decision,
+//! per-site distribution, and cache application; the *serving trace*
+//! follows one request from the MSIRP route decision through the cache
+//! lookup to the rendered response. Timestamps are [`SimTime`] — virtual,
+//! not wall-clock — so a fixed seed reproduces byte-identical traces.
+//!
+//! Completed traces land in a bounded [`TraceBuffer`] ring: old traces
+//! fall off the front, memory stays bounded over a 16-day run.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use nagano_simcore::{SimDuration, SimTime};
+
+/// Which pipeline a trace follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// DB commit → all serving caches consistent.
+    Propagation,
+    /// Client request → response.
+    Serving,
+}
+
+impl TraceKind {
+    /// Lowercase label for rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::Propagation => "propagation",
+            TraceKind::Serving => "serving",
+        }
+    }
+}
+
+/// One timed step inside a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Step name from the pipeline's fixed vocabulary (`replicate`,
+    /// `odg_traversal`, `regenerate`, `cache_apply`, `route`, ...).
+    pub name: &'static str,
+    /// Free-form annotation (`site=tokyo`, `hit`, `url=/medals`).
+    pub detail: String,
+    /// When the step began.
+    pub start: SimTime,
+    /// When the step ended (`>= start`).
+    pub end: SimTime,
+}
+
+impl Span {
+    /// The span's duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// A completed or in-flight trace: an id plus its spans in recorded order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Correlation id: the transaction log sequence number for propagation
+    /// traces, the request ordinal for serving traces.
+    pub id: u64,
+    /// Pipeline kind.
+    pub kind: TraceKind,
+    /// Spans in recorded order.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// Start an empty trace.
+    pub fn new(kind: TraceKind, id: u64) -> Self {
+        Trace {
+            id,
+            kind,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Append a span with no annotation.
+    pub fn span(&mut self, name: &'static str, start: SimTime, end: SimTime) -> &mut Self {
+        self.span_with(name, String::new(), start, end)
+    }
+
+    /// Append an annotated span.
+    pub fn span_with(
+        &mut self,
+        name: &'static str,
+        detail: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) -> &mut Self {
+        debug_assert!(end >= start, "span {name} ends before it starts");
+        self.spans.push(Span {
+            name,
+            detail: detail.into(),
+            start,
+            end,
+        });
+        self
+    }
+
+    /// Earliest span start (simulation epoch if the trace is empty).
+    pub fn start(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.start)
+            .min()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Latest span end (simulation epoch if the trace is empty).
+    pub fn end(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// End-to-end duration covered by the spans.
+    pub fn duration(&self) -> SimDuration {
+        self.end().since(self.start())
+    }
+
+    /// Render an ASCII waterfall: one line per span with offsets relative
+    /// to the trace start.
+    pub fn render(&self) -> String {
+        let base = self.start();
+        let mut out = format!(
+            "{} trace #{} — {} spans, {:.6} s\n",
+            self.kind.label(),
+            self.id,
+            self.spans.len(),
+            self.duration().as_secs_f64()
+        );
+        let name_w = self.spans.iter().map(|s| s.name.len()).max().unwrap_or(0);
+        for s in &self.spans {
+            let from = s.start.since(base).as_secs_f64();
+            let to = s.end.since(base).as_secs_f64();
+            let _ = writeln!(
+                out,
+                "  +{from:>10.6}s ..+{to:>10.6}s  {name:<name_w$}  {detail}",
+                name = s.name,
+                detail = s.detail
+            );
+        }
+        out
+    }
+}
+
+/// Default ring capacity for [`TraceBuffer`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// A bounded, thread-safe ring of completed traces.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    inner: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    cap: usize,
+    traces: VecDeque<Trace>,
+    dropped: u64,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        TraceBuffer::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl TraceBuffer {
+    /// A ring holding at most `cap` traces (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "trace buffer needs capacity");
+        TraceBuffer {
+            inner: Mutex::new(Ring {
+                cap,
+                traces: VecDeque::with_capacity(cap.min(1024)),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Record a completed trace, evicting the oldest when full.
+    pub fn push(&self, trace: Trace) {
+        let mut ring = self.inner.lock().expect("trace buffer poisoned");
+        if ring.traces.len() == ring.cap {
+            ring.traces.pop_front();
+            ring.dropped += 1;
+        }
+        ring.traces.push_back(trace);
+    }
+
+    /// Number of traces currently held.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("trace buffer poisoned")
+            .traces
+            .len()
+    }
+
+    /// Whether the ring holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many traces were evicted to respect the bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("trace buffer poisoned").dropped
+    }
+
+    /// Copy out every held trace, oldest first.
+    pub fn traces(&self) -> Vec<Trace> {
+        self.inner
+            .lock()
+            .expect("trace buffer poisoned")
+            .traces
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The `n` longest-duration traces, slowest first (ties broken by id
+    /// for determinism).
+    pub fn slowest(&self, n: usize) -> Vec<Trace> {
+        let mut all = self.traces();
+        all.sort_by(|a, b| b.duration().cmp(&a.duration()).then(a.id.cmp(&b.id)));
+        all.truncate(n);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn trace_accumulates_spans_and_duration() {
+        let mut trace = Trace::new(TraceKind::Propagation, 7);
+        trace
+            .span_with("replicate", "site=tokyo", t(10), t(12))
+            .span("odg_traversal", t(12), t(12))
+            .span_with("regenerate", "pages=5", t(12), t(15));
+        assert_eq!(trace.start(), t(10));
+        assert_eq!(trace.end(), t(15));
+        assert_eq!(trace.duration().as_secs_f64(), 5.0);
+        let text = trace.render();
+        assert!(text.contains("propagation trace #7"));
+        assert!(text.contains("site=tokyo"));
+        assert!(text.contains("regenerate"));
+    }
+
+    #[test]
+    fn empty_trace_is_zero_length() {
+        let trace = Trace::new(TraceKind::Serving, 0);
+        assert_eq!(trace.duration(), SimDuration::ZERO);
+        assert!(trace.render().contains("0 spans"));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let buf = TraceBuffer::new(3);
+        for i in 0..5 {
+            let mut tr = Trace::new(TraceKind::Serving, i);
+            tr.span("route", t(i), t(i + 1));
+            buf.push(tr);
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped(), 2);
+        let ids: Vec<u64> = buf.traces().iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn slowest_sorts_by_duration_then_id() {
+        let buf = TraceBuffer::new(10);
+        for (id, dur) in [(1u64, 5u64), (2, 9), (3, 5), (4, 1)] {
+            let mut tr = Trace::new(TraceKind::Propagation, id);
+            tr.span("regenerate", t(0), t(dur));
+            buf.push(tr);
+        }
+        let top: Vec<u64> = buf.slowest(3).iter().map(|t| t.id).collect();
+        assert_eq!(top, vec![2, 1, 3]);
+        assert_eq!(buf.slowest(99).len(), 4);
+    }
+}

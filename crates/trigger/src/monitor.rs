@@ -324,12 +324,7 @@ mod tests {
         seed_games(&db, &GamesConfig::small());
         let registry = Arc::new(PageRegistry::build(&db, 16));
         let fleet = Arc::new(CacheFleet::new(2, CacheConfig::default()));
-        let monitor = TriggerMonitor::new(
-            Renderer::new(Arc::clone(&db)),
-            fleet,
-            registry,
-            policy,
-        );
+        let monitor = TriggerMonitor::new(Renderer::new(Arc::clone(&db)), fleet, registry, policy);
         (db, monitor)
     }
 
@@ -366,9 +361,9 @@ mod tests {
         let txn = db.record_results(ev.id, &podium(&db, ev.id), true, ev.day);
         let outcome = monitor.process_txn(&txn);
         assert!(outcome.regenerated.contains(&PageKey::Event(ev.id)));
-        assert!(outcome
-            .regenerated
-            .contains(&PageKey::Fragment(nagano_pagegen::FragmentKey::ResultTable(ev.id))));
+        assert!(outcome.regenerated.contains(&PageKey::Fragment(
+            nagano_pagegen::FragmentKey::ResultTable(ev.id)
+        )));
         assert!(outcome.regenerated.contains(&PageKey::Medals));
         assert!(outcome.regenerated.contains(&PageKey::Home(ev.day)));
         assert!(outcome.invalidated.is_empty());
@@ -501,7 +496,10 @@ mod tests {
         assert!(monitor.fleet().member(0).peek(&key.to_url()).is_some());
         let txn = db.record_results(ev.id, &podium(&db, ev.id), false, ev.day);
         let outcome = monitor.process_txn(&txn);
-        assert!(outcome.regenerated.contains(&key), "re-registered after refill");
+        assert!(
+            outcome.regenerated.contains(&key),
+            "re-registered after refill"
+        );
     }
 
     #[test]

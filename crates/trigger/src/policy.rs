@@ -54,7 +54,10 @@ mod tests {
 
     #[test]
     fn default_is_the_1998_policy() {
-        assert_eq!(ConsistencyPolicy::default(), ConsistencyPolicy::UpdateInPlace);
+        assert_eq!(
+            ConsistencyPolicy::default(),
+            ConsistencyPolicy::UpdateInPlace
+        );
         assert!(ConsistencyPolicy::UpdateInPlace.needs_precise_dup());
         assert!(!ConsistencyPolicy::Conservative96.needs_precise_dup());
     }

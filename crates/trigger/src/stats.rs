@@ -1,30 +1,41 @@
-//! Trigger-monitor statistics: counters plus a freshness accumulator
-//! (wall-clock latency from transaction receipt to all caches updated).
+//! Trigger-monitor statistics: counters plus a freshness distribution
+//! (latency from transaction receipt to all caches updated).
+//!
+//! The counters are [`nagano_telemetry`] cells and the latency accumulator
+//! is a log-bucketed [`HistogramHandle`], so the paper's "update freshness"
+//! metric reports full percentiles (p50/p95/p99/p999), not just mean/max,
+//! and [`bind`](TriggerStats::bind) exposes the live cells to exporters.
 
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-
-use parking_lot::Mutex;
+use nagano_telemetry::{Counter, HistogramHandle, MetricsRegistry};
 
 /// Shared counters for one trigger monitor.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TriggerStats {
-    txns: AtomicU64,
-    pages_regenerated: AtomicU64,
-    pages_invalidated: AtomicU64,
-    pages_tolerated: AtomicU64,
-    nodes_visited: AtomicU64,
-    latency: Mutex<LatencyAcc>,
+    txns: Counter,
+    pages_regenerated: Counter,
+    pages_invalidated: Counter,
+    pages_tolerated: Counter,
+    nodes_visited: Counter,
+    /// Processing latency in seconds, 1 µs .. 600 s buckets.
+    latency: HistogramHandle,
 }
 
-#[derive(Debug, Default, Clone, Copy)]
-struct LatencyAcc {
-    count: u64,
-    total_us: u64,
-    max_us: u64,
+impl Default for TriggerStats {
+    fn default() -> Self {
+        TriggerStats {
+            txns: Counter::new(),
+            pages_regenerated: Counter::new(),
+            pages_invalidated: Counter::new(),
+            pages_tolerated: Counter::new(),
+            nodes_visited: Counter::new(),
+            latency: HistogramHandle::for_latency(),
+        }
+    }
 }
 
-/// Point-in-time copy of the counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Point-in-time copy of the counters and the latency distribution's
+/// summary statistics (milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TriggerStatsSnapshot {
     /// Transactions processed.
     pub txns: u64,
@@ -38,25 +49,29 @@ pub struct TriggerStatsSnapshot {
     pub nodes_visited: u64,
     /// Freshness samples recorded.
     pub latency_count: u64,
-    /// Total processing latency in microseconds.
-    pub latency_total_us: u64,
-    /// Worst-case processing latency in microseconds.
-    pub latency_max_us: u64,
+    /// Mean processing latency in milliseconds (exact).
+    pub mean_ms: f64,
+    /// Worst processing latency in milliseconds (exact).
+    pub max_ms: f64,
+    /// Median processing latency in milliseconds (~5% relative error).
+    pub p50_ms: f64,
+    /// 95th-percentile processing latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile processing latency in milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile processing latency in milliseconds.
+    pub p999_ms: f64,
 }
 
 impl TriggerStatsSnapshot {
     /// Mean processing latency in milliseconds.
     pub fn mean_latency_ms(&self) -> f64 {
-        if self.latency_count == 0 {
-            0.0
-        } else {
-            self.latency_total_us as f64 / self.latency_count as f64 / 1_000.0
-        }
+        self.mean_ms
     }
 
     /// Worst processing latency in milliseconds.
     pub fn max_latency_ms(&self) -> f64 {
-        self.latency_max_us as f64 / 1_000.0
+        self.max_ms
     }
 }
 
@@ -71,29 +86,73 @@ impl TriggerStats {
         visited: u64,
         latency_us: u64,
     ) {
-        self.txns.fetch_add(1, Relaxed);
-        self.pages_regenerated.fetch_add(regenerated, Relaxed);
-        self.pages_invalidated.fetch_add(invalidated, Relaxed);
-        self.pages_tolerated.fetch_add(tolerated, Relaxed);
-        self.nodes_visited.fetch_add(visited, Relaxed);
-        let mut l = self.latency.lock();
-        l.count += 1;
-        l.total_us += latency_us;
-        l.max_us = l.max_us.max(latency_us);
+        self.txns.incr();
+        self.pages_regenerated.add(regenerated);
+        self.pages_invalidated.add(invalidated);
+        self.pages_tolerated.add(tolerated);
+        self.nodes_visited.add(visited);
+        self.latency.record(latency_us as f64 / 1e6);
     }
 
-    /// Copy the counters.
+    /// The live latency distribution (seconds), for binding or direct
+    /// percentile queries.
+    pub fn latency_histogram(&self) -> HistogramHandle {
+        self.latency.clone()
+    }
+
+    /// Register this monitor's live cells into `registry` under the
+    /// `nagano_trigger_*` names, tagged with `labels` (typically
+    /// `site=<name>`).
+    pub fn bind(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        registry.bind_counter("nagano_trigger_txns_total", labels, &self.txns);
+        registry.bind_counter(
+            "nagano_trigger_pages_regenerated_total",
+            labels,
+            &self.pages_regenerated,
+        );
+        registry.bind_counter(
+            "nagano_trigger_pages_invalidated_total",
+            labels,
+            &self.pages_invalidated,
+        );
+        registry.bind_counter(
+            "nagano_trigger_pages_tolerated_total",
+            labels,
+            &self.pages_tolerated,
+        );
+        registry.bind_counter(
+            "nagano_trigger_nodes_visited_total",
+            labels,
+            &self.nodes_visited,
+        );
+        registry.bind_histogram("nagano_trigger_latency_seconds", labels, &self.latency);
+    }
+
+    /// Copy the counters and summarise the latency distribution.
     pub fn snapshot(&self) -> TriggerStatsSnapshot {
-        let l = *self.latency.lock();
+        let count = self.latency.count();
+        let ms = |secs: f64| if secs.is_finite() { secs * 1e3 } else { 0.0 };
         TriggerStatsSnapshot {
-            txns: self.txns.load(Relaxed),
-            pages_regenerated: self.pages_regenerated.load(Relaxed),
-            pages_invalidated: self.pages_invalidated.load(Relaxed),
-            pages_tolerated: self.pages_tolerated.load(Relaxed),
-            nodes_visited: self.nodes_visited.load(Relaxed),
-            latency_count: l.count,
-            latency_total_us: l.total_us,
-            latency_max_us: l.max_us,
+            txns: self.txns.get(),
+            pages_regenerated: self.pages_regenerated.get(),
+            pages_invalidated: self.pages_invalidated.get(),
+            pages_tolerated: self.pages_tolerated.get(),
+            nodes_visited: self.nodes_visited.get(),
+            latency_count: count,
+            mean_ms: if count == 0 {
+                0.0
+            } else {
+                ms(self.latency.mean())
+            },
+            max_ms: if count == 0 {
+                0.0
+            } else {
+                ms(self.latency.max())
+            },
+            p50_ms: ms(self.latency.percentile(50.0)),
+            p95_ms: ms(self.latency.percentile(95.0)),
+            p99_ms: ms(self.latency.percentile(99.0)),
+            p999_ms: ms(self.latency.percentile(99.9)),
         }
     }
 }
@@ -121,6 +180,49 @@ mod tests {
     #[test]
     fn empty_latency_is_zero() {
         let s = TriggerStats::default();
-        assert_eq!(s.snapshot().mean_latency_ms(), 0.0);
+        let snap = s.snapshot();
+        assert_eq!(snap.mean_latency_ms(), 0.0);
+        assert_eq!(snap.max_latency_ms(), 0.0);
+        assert_eq!(snap.p99_ms, 0.0);
+    }
+
+    #[test]
+    fn percentiles_track_the_distribution() {
+        let s = TriggerStats::default();
+        for i in 1..=1_000u64 {
+            // 1 ms .. 1000 ms uniform.
+            s.record_txn(1, 0, 0, 1, i * 1_000);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.latency_count, 1_000);
+        assert!(
+            (snap.p50_ms - 500.0).abs() / 500.0 < 0.08,
+            "p50 {}",
+            snap.p50_ms
+        );
+        assert!(
+            (snap.p95_ms - 950.0).abs() / 950.0 < 0.08,
+            "p95 {}",
+            snap.p95_ms
+        );
+        assert!(
+            (snap.p99_ms - 990.0).abs() / 990.0 < 0.08,
+            "p99 {}",
+            snap.p99_ms
+        );
+        assert!(snap.p50_ms <= snap.p95_ms && snap.p95_ms <= snap.p99_ms);
+        assert!(snap.p999_ms <= snap.max_ms * 1.06);
+    }
+
+    #[test]
+    fn bind_exposes_histogram() {
+        use nagano_telemetry::{prometheus_text, MetricsRegistry};
+        let reg = MetricsRegistry::new();
+        let s = TriggerStats::default();
+        s.bind(&reg, &[("site", "tokyo")]);
+        s.record_txn(3, 1, 0, 12, 2_000);
+        let text = prometheus_text(&reg);
+        assert!(text.contains("nagano_trigger_txns_total{site=\"tokyo\"} 1"));
+        assert!(text.contains("nagano_trigger_latency_seconds_count{site=\"tokyo\"} 1"));
     }
 }

@@ -22,8 +22,8 @@ impl GamesCalendar {
     pub fn nagano() -> Self {
         GamesCalendar {
             day_millions: vec![
-                22.0, 27.0, 32.0, 36.0, 42.0, 48.0, 56.8, 50.0, 44.0, 48.0, 40.0, 38.0, 42.0,
-                47.0, 36.0, 25.9,
+                22.0, 27.0, 32.0, 36.0, 42.0, 48.0, 56.8, 50.0, 44.0, 48.0, 40.0, 38.0, 42.0, 47.0,
+                36.0, 25.9,
             ],
         }
     }
@@ -62,13 +62,16 @@ impl GamesCalendar {
             .iter()
             .copied()
             .enumerate()
-            .fold((1, 0.0), |best, (i, v)| {
-                if v > best.1 {
-                    (i as u32 + 1, v)
-                } else {
-                    best
-                }
-            })
+            .fold(
+                (1, 0.0),
+                |best, (i, v)| {
+                    if v > best.1 {
+                        (i as u32 + 1, v)
+                    } else {
+                        best
+                    }
+                },
+            )
     }
 }
 
@@ -80,7 +83,11 @@ mod tests {
     fn totals_match_the_paper() {
         let c = GamesCalendar::nagano();
         assert_eq!(c.days(), 16);
-        assert!((c.total_millions() - 634.7).abs() < 0.1, "{}", c.total_millions());
+        assert!(
+            (c.total_millions() - 634.7).abs() < 0.1,
+            "{}",
+            c.total_millions()
+        );
         let (day, peak) = c.peak_day();
         assert_eq!(day, 7);
         assert!((peak - 56.8).abs() < 1e-9);

@@ -55,8 +55,7 @@ impl DiurnalShape {
     /// interpolated between hours so rates are continuous.
     pub fn multiplier(&self, region: Region, t: SimTime) -> f64 {
         let offset = region.utc_offset_from_japan();
-        let local_min =
-            (t.minute_of_day() as i64 + offset as i64 * 60).rem_euclid(24 * 60) as u32;
+        let local_min = (t.minute_of_day() as i64 + offset as i64 * 60).rem_euclid(24 * 60) as u32;
         let h0 = local_min / 60;
         let frac = (local_min % 60) as f64 / 60.0;
         let a = self.at_local_hour(h0);
@@ -97,7 +96,10 @@ mod tests {
         // 20:00 US-East local = 10:00 Japan time next day.
         let us_evening = s.multiplier(Region::UsEast, SimTime::at(1, 10, 0));
         let us_overnight = s.multiplier(Region::UsEast, SimTime::at(1, 18, 0)); // 04:00 EST
-        assert!(us_evening > us_overnight * 2.5, "{us_evening} vs {us_overnight}");
+        assert!(
+            us_evening > us_overnight * 2.5,
+            "{us_evening} vs {us_overnight}"
+        );
     }
 
     #[test]

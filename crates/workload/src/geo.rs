@@ -39,10 +39,10 @@ impl Region {
     pub fn utc_offset_from_japan(self) -> i32 {
         match self {
             Region::Japan => 0,
-            Region::UsEast => -14,  // JST+9 vs EST-5
-            Region::UsWest => -17,  // vs PST-8
-            Region::Europe => -9,   // vs GMT
-            Region::Oceania => 2,   // vs AEDT+11
+            Region::UsEast => -14, // JST+9 vs EST-5
+            Region::UsWest => -17, // vs PST-8
+            Region::Europe => -9,  // vs GMT
+            Region::Oceania => 2,  // vs AEDT+11
             Region::RestOfWorld => -1,
         }
     }

@@ -222,7 +222,8 @@ impl RequestModel {
         for s in &self.spikes {
             let dt_min = ((t.as_secs_f64() - s.at.as_secs_f64()) / 60.0).abs();
             if dt_min < 2.0 * s.width_mins {
-                let bump = s.magnitude * (-(dt_min * dt_min) / (2.0 * s.width_mins * s.width_mins)).exp();
+                let bump =
+                    s.magnitude * (-(dt_min * dt_min) / (2.0 * s.width_mins * s.width_mins)).exp();
                 let p_hot = bump / (1.0 + bump);
                 if rng.chance(p_hot) {
                     let sport = self.marquee_sport[&s.event];
@@ -273,7 +274,9 @@ fn day_modifier(key: PageKey, day: u32) -> f64 {
     match key {
         // Clients overwhelmingly read the *current* day's home page; old
         // days decay fast, future days do not exist yet.
-        PageKey::Home(d) | PageKey::NewsIndex(d) | PageKey::Fragment(nagano_pagegen::FragmentKey::Headlines(d)) => {
+        PageKey::Home(d)
+        | PageKey::NewsIndex(d)
+        | PageKey::Fragment(nagano_pagegen::FragmentKey::Headlines(d)) => {
             if d > day {
                 0.0
             } else {
@@ -411,7 +414,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(home_today > home_old * 3, "today {home_today} old {home_old}");
+        assert!(
+            home_today > home_old * 3,
+            "today {home_today} old {home_old}"
+        );
         assert!(home_today as f64 / n as f64 > 0.10);
     }
 
@@ -478,8 +484,10 @@ mod tests {
         let mut rng = DeterministicRng::seed_from_u64(77);
         for &lambda in &[3.0, 40.0, 500.0] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| sample_poisson(lambda, &mut rng) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n)
+                .map(|_| sample_poisson(lambda, &mut rng) as f64)
+                .sum::<f64>()
+                / n as f64;
             assert!(
                 (mean - lambda).abs() < lambda * 0.05 + 0.5,
                 "lambda {lambda} mean {mean}"
@@ -495,8 +503,13 @@ mod tests {
         let t = SimTime::at(7, 20, 0);
         let lambda = m.rate_per_minute(t);
         let n = 200;
-        let mean: f64 =
-            (0..n).map(|_| m.sample_minute_count(t, &mut rng) as f64).sum::<f64>() / n as f64;
-        assert!((mean - lambda).abs() / lambda < 0.05, "mean {mean} λ {lambda}");
+        let mean: f64 = (0..n)
+            .map(|_| m.sample_minute_count(t, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean - lambda).abs() / lambda < 0.05,
+            "mean {mean} λ {lambda}"
+        );
     }
 }

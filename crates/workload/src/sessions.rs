@@ -174,7 +174,10 @@ mod tests {
             .filter(|_| m.visit(5, &mut rng2).len() == 1)
             .count();
         let frac = satisfied as f64 / 5_000.0;
-        assert!((0.24..0.33).contains(&frac), "home-satisfied fraction {frac}");
+        assert!(
+            (0.24..0.33).contains(&frac),
+            "home-satisfied fraction {frac}"
+        );
         let _ = counts;
     }
 

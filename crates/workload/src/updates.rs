@@ -228,9 +228,7 @@ mod tests {
             .updates()
             .iter()
             .filter_map(|u| match u.kind {
-                UpdateKind::Results { event, is_final } if event == ev => {
-                    Some((u.at, is_final))
-                }
+                UpdateKind::Results { event, is_final } if event == ev => Some((u.at, is_final)),
                 _ => None,
             })
             .collect();

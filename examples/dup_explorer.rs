@@ -44,7 +44,10 @@ fn main() {
         engine.graph().is_simple()
     );
     engine.graph().validate().expect("graph invariants hold");
-    println!("max fan-out {}, max fan-in {}\n", stats.max_out_degree, stats.max_in_degree);
+    println!(
+        "max fan-out {}, max fan-in {}\n",
+        stats.max_out_degree, stats.max_in_degree
+    );
 
     // The paper's walkthrough: go2 changes.
     println!("-- go2 changes (strict policy) --");
@@ -71,7 +74,10 @@ fn main() {
     engine.set_policy(StalenessPolicy::Threshold(2.0));
     let prop = engine.propagate_ids(&[id(2)]);
     for (node, s) in &prop.stale {
-        println!("  regenerate {} (staleness {s})", names.name(*node).unwrap());
+        println!(
+            "  regenerate {} (staleness {s})",
+            names.name(*node).unwrap()
+        );
     }
     for (node, s) in &prop.tolerated {
         println!(

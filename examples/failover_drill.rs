@@ -119,7 +119,5 @@ fn main() {
             h, hourly[0][h], hourly[1][h], hourly[2][h], hourly[3][h], marker
         );
     }
-    println!(
-        "\nevery request was served throughout — the paper's 'elegant degradation'."
-    );
+    println!("\nevery request was served throughout — the paper's 'elegant degradation'.");
 }

@@ -1,0 +1,87 @@
+//! Telemetry tour: run one simulated day of the Games with the unified
+//! telemetry layer enabled, then walk through everything it captured —
+//! the Prometheus export, the JSON snapshot, freshness percentiles, and
+//! the three slowest update-propagation traces, span by span.
+//!
+//! Run with: `cargo run -p nagano-examples --bin telemetry_tour`
+
+use nagano_cluster::{ClusterConfig, ClusterSim};
+use nagano_db::GamesConfig;
+use nagano_telemetry::{json_snapshot, prometheus_text};
+
+fn main() {
+    let export_dir = std::path::PathBuf::from("target/experiments/telemetry_tour");
+    println!("== telemetry tour: one simulated day (day 7), all sites ==\n");
+    let config = ClusterConfig {
+        scale: 10_000.0,
+        games: GamesConfig::small(),
+        start_day: 7,
+        end_day: 7,
+        export_dir: Some(export_dir.clone()),
+        ..Default::default()
+    };
+    let report = ClusterSim::new(config).run();
+    let telemetry = &report.telemetry;
+
+    println!(
+        "requests: {} | hit rate: {:.2}% | metrics registered: {}\n",
+        report.total_requests,
+        report.hit_rate() * 100.0,
+        telemetry.registry.len()
+    );
+
+    // --- Prometheus text export -------------------------------------
+    let prom = prometheus_text(&telemetry.registry);
+    println!(
+        "-- Prometheus export (excerpt; full file: {}/metrics.prom)",
+        export_dir.display()
+    );
+    for line in prom
+        .lines()
+        .filter(|l| {
+            l.starts_with("# TYPE")
+                || l.starts_with("nagano_cluster_")
+                || l.starts_with("nagano_httpd_requests_total")
+        })
+        .take(16)
+    {
+        println!("   {line}");
+    }
+
+    // --- JSON snapshot ----------------------------------------------
+    let json = json_snapshot(&telemetry.registry);
+    println!(
+        "\n-- JSON snapshot: {} bytes (full file: {}/metrics.json)",
+        json.len(),
+        export_dir.display()
+    );
+    println!("   {}…", &json[..json.len().min(160)]);
+
+    // --- Freshness percentiles --------------------------------------
+    let h = &report.freshness_hist;
+    println!(
+        "\n-- commit→visible freshness ({} site applies):",
+        h.count()
+    );
+    for (label, p) in [("p50", 50.0), ("p95", 95.0), ("p99", 99.0), ("p99.9", 99.9)] {
+        let v = h.percentile(p);
+        if v.is_finite() {
+            println!("   {label:>6}: {v:6.2} s");
+        }
+    }
+
+    // --- Slowest propagation traces ---------------------------------
+    println!(
+        "\n-- three slowest update propagations ({} traced, {} serving traces sampled):",
+        telemetry.propagation.len(),
+        telemetry.serving.len()
+    );
+    for trace in telemetry.propagation.slowest(3) {
+        println!("{}", trace.render());
+    }
+
+    println!(
+        "exports written under {}/ — point any Prometheus scraper at metrics.prom.",
+        export_dir.display()
+    );
+}

@@ -64,5 +64,9 @@ fn served_requests_are_logged_and_analyzable() {
     assert_eq!(analysis.by_status[&404], 1);
     assert!(analysis.status_class_share(2) > 0.8);
     // Mean bytes reflects real page sizes (medals ~10 KB, home ~55 KB).
-    assert!(analysis.mean_bytes() > 5_000.0, "mean {}", analysis.mean_bytes());
+    assert!(
+        analysis.mean_bytes() > 5_000.0,
+        "mean {}",
+        analysis.mean_bytes()
+    );
 }

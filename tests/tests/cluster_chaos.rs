@@ -3,8 +3,7 @@
 //! and the simulation must be deterministic.
 
 use nagano_cluster::{
-    ClusterConfig, ClusterSim, ClusterState, FailureKind, FailurePlanEntry, Msirp,
-    RouteDecision,
+    ClusterConfig, ClusterSim, ClusterState, FailureKind, FailurePlanEntry, Msirp, RouteDecision,
 };
 use nagano_db::GamesConfig;
 use nagano_simcore::{DeterministicRng, SimTime};
@@ -34,7 +33,10 @@ fn three_complexes_down_still_serves_everything() {
         .collect();
     let report = ClusterSim::new(cfg).run();
     assert!(report.total_requests > 100);
-    assert_eq!(report.failed_requests, 0, "one complex must carry everything");
+    assert_eq!(
+        report.failed_requests, 0,
+        "one complex must carry everything"
+    );
     // Everything after the failure went to Tokyo (site 3).
     let after_start = 2 * 1440 + 6 * 60 + 5;
     for site in 0..3 {
@@ -62,7 +64,10 @@ fn total_outage_fails_requests_then_recovers() {
     }));
     cfg.failure_plan = plan;
     let report = ClusterSim::new(cfg).run();
-    assert!(report.failed_requests > 0, "total outage must drop requests");
+    assert!(
+        report.failed_requests > 0,
+        "total outage must drop requests"
+    );
     assert!(report.availability() < 1.0);
     // Service resumed after the restore.
     let tail: f64 = report.per_minute.bins()[(2 * 1440 + 13 * 60)..(3 * 1440 - 1)]

@@ -61,8 +61,7 @@ fn check_consistency(site: &ServingSite) {
         if let Some(cached) = site.fleet().member(0).peek(&key.to_url()) {
             let fresh = renderer.render(key);
             assert_eq!(
-                cached.body,
-                fresh.body,
+                cached.body, fresh.body,
                 "stale page served for {key} — DUP missed a dependency"
             );
         }
@@ -89,7 +88,11 @@ fn run_scenario(policy: ConsistencyPolicy, ops: &[Op]) {
                     .record_results(ev.id, &placements, *is_final, ev.day);
             }
             Op::Browse(node) => {
-                for key in [PageKey::Medals, PageKey::Home(3), PageKey::Event(events[0].id)] {
+                for key in [
+                    PageKey::Medals,
+                    PageKey::Home(3),
+                    PageKey::Event(events[0].id),
+                ] {
                     site.handle(*node as usize, &key.to_url());
                 }
             }
@@ -177,5 +180,8 @@ fn hit_rate_ordering_matches_the_paper() {
         "ordering violated: {rates:?}"
     );
     assert!(rates[0].1 > 0.999, "update-in-place {rates:?}");
-    assert!(rates[2].1 < 0.9, "conservative should miss a lot: {rates:?}");
+    assert!(
+        rates[2].1 < 0.9,
+        "conservative should miss a lot: {rates:?}"
+    );
 }

@@ -48,9 +48,7 @@ fn results_flow_to_http_clients_without_cache_misses() {
 
     // The winning athlete's page reflects the result too.
     let winner = podium(&site, ev.id)[0].0;
-    let (_, athlete_page) = client
-        .get(&PageKey::Athlete(winner).to_url())
-        .unwrap();
+    let (_, athlete_page) = client.get(&PageKey::Athlete(winner).to_url()).unwrap();
     let html = String::from_utf8(athlete_page.to_vec()).unwrap();
     assert!(html.contains("rank 1"), "winner page shows the gold");
 
@@ -110,12 +108,8 @@ fn background_runner_keeps_site_fresh_under_live_updates() {
     let url = PageKey::Event(ev.id).to_url();
     let v0 = site.fleet().member(0).peek(&url).unwrap().version;
     for round in 0..5 {
-        site.db().record_results(
-            ev.id,
-            &podium(&site, ev.id),
-            round == 4,
-            ev.day,
-        );
+        site.db()
+            .record_results(ev.id, &podium(&site, ev.id), round == 4, ev.day);
     }
     let processed = runner.stop();
     assert_eq!(processed, 5);

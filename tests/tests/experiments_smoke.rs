@@ -99,7 +99,9 @@ fn nav_shows_the_3x_reduction() {
     assert!((2.0..4.5).contains(&ratio), "ratio {ratio}");
     let home = result.json["home_satisfaction_98"].as_f64().unwrap();
     assert!(home > 0.25, "home satisfaction {home}");
-    let projected = result.json["projected_1996_peak_millions"].as_f64().unwrap();
+    let projected = result.json["projected_1996_peak_millions"]
+        .as_f64()
+        .unwrap();
     assert!(projected > 120.0, "projection {projected}M");
 }
 
@@ -118,19 +120,28 @@ fn fig22_shows_the_us_anomaly() {
     let result = run_experiment("fig22", &quick()).unwrap();
     let us_bad = result.json["us_days7_9"].as_f64().unwrap();
     let us_ok = result.json["us_other"].as_f64().unwrap();
-    assert!(us_bad > us_ok * 1.15, "US anomaly missing: {us_bad} vs {us_ok}");
+    assert!(
+        us_bad > us_ok * 1.15,
+        "US anomaly missing: {us_bad} vs {us_ok}"
+    );
 }
 
 #[test]
 fn staleness_threshold_saves_work_monotonically() {
     let result = run_experiment("staleness", &quick()).unwrap();
     let rows = result.json["rows"].as_array().unwrap();
-    let saved: Vec<f64> = rows.iter().map(|r| r["saved_pct"].as_f64().unwrap()).collect();
+    let saved: Vec<f64> = rows
+        .iter()
+        .map(|r| r["saved_pct"].as_f64().unwrap())
+        .collect();
     assert_eq!(saved[0], 0.0, "strict is the baseline");
     for w in saved.windows(2) {
         assert!(w[1] >= w[0] - 1e-9, "saving must be monotone: {saved:?}");
     }
-    assert!(*saved.last().unwrap() > 20.0, "high threshold saves real work");
+    assert!(
+        *saved.last().unwrap() > 20.0,
+        "high threshold saves real work"
+    );
     // Tolerated + regenerated stays conserved-ish (affected set unchanged).
     let strict_total = rows[0]["regenerated"].as_u64().unwrap();
     for r in rows {
@@ -183,7 +194,10 @@ fn mix_centres_on_the_home_page() {
             .unwrap_or(0.0)
     };
     assert!(of("Sports") + of("Today") > 60.0);
-    assert!(result.verdict.contains("/day/"), "home page is the top destination");
+    assert!(
+        result.verdict.contains("/day/"),
+        "home page is the top destination"
+    );
 }
 
 #[test]

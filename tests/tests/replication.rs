@@ -90,9 +90,24 @@ fn updates_propagate_down_the_chain_in_order() {
     assert!(columbus.page_version(event_page) >= v0 + 2);
 
     // All sites hold byte-identical content.
-    let a = schaumburg.monitor.fleet().member(0).peek(&event_page.to_url()).unwrap();
-    let b = columbus.monitor.fleet().member(0).peek(&event_page.to_url()).unwrap();
-    let c = tokyo.monitor.fleet().member(0).peek(&event_page.to_url()).unwrap();
+    let a = schaumburg
+        .monitor
+        .fleet()
+        .member(0)
+        .peek(&event_page.to_url())
+        .unwrap();
+    let b = columbus
+        .monitor
+        .fleet()
+        .member(0)
+        .peek(&event_page.to_url())
+        .unwrap();
+    let c = tokyo
+        .monitor
+        .fleet()
+        .member(0)
+        .peek(&event_page.to_url())
+        .unwrap();
     assert_eq!(a.body, b.body);
     assert_eq!(a.body, c.body);
 }

@@ -43,11 +43,7 @@ fn shape_metrics_are_scale_free() {
             *r.by_region.get(&region).unwrap_or(&0) as f64 / r.total_requests as f64
         };
         let (a, b) = (share(&coarse), share(&fine));
-        assert!(
-            (a - b).abs() < 0.03,
-            "{}: {a:.3} vs {b:.3}",
-            region.label()
-        );
+        assert!((a - b).abs() < 0.03, "{}: {a:.3} vs {b:.3}", region.label());
     }
     // Per-site traffic split is stable too.
     let total_c: f64 = coarse.per_site_totals().iter().sum();

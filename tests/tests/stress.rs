@@ -67,8 +67,7 @@ fn live_updates_under_http_load_lose_nothing() {
     let mut client = HttpClient::connect(server.addr()).unwrap();
     let (code, body) = client.get(&PageKey::Event(ev.id).to_url()).unwrap();
     assert_eq!(code, 200);
-    let fresh = nagano_pagegen::Renderer::new(Arc::clone(site.db()))
-        .render(PageKey::Event(ev.id));
+    let fresh = nagano_pagegen::Renderer::new(Arc::clone(site.db())).render(PageKey::Event(ev.id));
     assert_eq!(body, fresh.body, "served page matches a fresh render");
 
     drop(client);
@@ -92,14 +91,15 @@ fn conditional_gets_under_updates_never_see_stale_304() {
     for round in 0..10u32 {
         site.db().record_results(
             ev.id,
-            &[(pool[round as usize % pool.len().min(4)].id, 50.0 + round as f64)],
+            &[(
+                pool[round as usize % pool.len().min(4)].id,
+                50.0 + round as f64,
+            )],
             false,
             ev.day,
         );
         site.pump();
-        let (code, body, etag) = client
-            .get_conditional(&path, last_etag.as_deref())
-            .unwrap();
+        let (code, body, etag) = client.get_conditional(&path, last_etag.as_deref()).unwrap();
         // Content always changes (new result row), so a 304 here would be
         // a staleness bug.
         assert_eq!(code, 200, "round {round}: stale 304");
@@ -108,9 +108,7 @@ fn conditional_gets_under_updates_never_see_stale_304() {
         last_body = body;
         last_etag = etag;
         // Re-validating immediately (no change) is a 304.
-        let (code, body, _) = client
-            .get_conditional(&path, last_etag.as_deref())
-            .unwrap();
+        let (code, body, _) = client.get_conditional(&path, last_etag.as_deref()).unwrap();
         assert_eq!(code, 304);
         assert!(body.is_empty());
     }
