@@ -6,8 +6,9 @@ pub mod figures;
 pub mod systems;
 pub mod tables;
 
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+
+use rustc_hash::FxHashMap;
 
 use nagano_cluster::{ClusterConfig, ClusterReport, ClusterSim};
 use nagano_db::GamesConfig;
@@ -46,9 +47,9 @@ pub fn cluster_config(config: &ExpConfig, policy: ConsistencyPolicy) -> ClusterC
 
 type ReportKey = (u64, u64, bool, &'static str);
 
-fn report_cache() -> &'static Mutex<HashMap<ReportKey, Arc<ClusterReport>>> {
-    static CACHE: OnceLock<Mutex<HashMap<ReportKey, Arc<ClusterReport>>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn report_cache() -> &'static Mutex<FxHashMap<ReportKey, Arc<ClusterReport>>> {
+    static CACHE: OnceLock<Mutex<FxHashMap<ReportKey, Arc<ClusterReport>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(FxHashMap::default()))
 }
 
 /// The memoized full-Games simulation under the production policy. Every

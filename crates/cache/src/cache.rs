@@ -150,10 +150,11 @@ impl Shard {
                 if let Rank::Value(v) = rank {
                     self.inflation = self.inflation.max(v.0);
                 }
-                let e = self.map.remove(&key).expect("checked above");
-                let size = e.body.len() as u64;
-                self.bytes -= size;
-                stats.evict(size);
+                if let Some(e) = self.map.remove(&key) {
+                    let size = e.body.len() as u64;
+                    self.bytes -= size;
+                    stats.evict(size);
+                }
             }
         }
         // Protected records go back so the entry stays evictable later.
@@ -241,17 +242,17 @@ impl PageCache {
     /// Look up `key`, recording a hit or miss and touching recency state.
     pub fn get(&self, key: &str) -> Option<CachedPage> {
         let mut shard = self.shard_for(key).lock();
-        match shard.map.get(key) {
-            Some(e) => {
-                let page = CachedPage {
+        let found = shard.map.get_key_value(key).map(|(k, e)| {
+            (
+                Arc::clone(k),
+                CachedPage {
                     body: e.body.clone(),
                     version: e.version,
-                };
-                let k = shard
-                    .map
-                    .get_key_value(key)
-                    .map(|(k, _)| Arc::clone(k))
-                    .expect("present");
+                },
+            )
+        });
+        match found {
+            Some((k, page)) => {
                 shard.touch(&k, self.policy);
                 self.stats.hit();
                 Some(page)
@@ -297,12 +298,9 @@ impl PageCache {
             self.stats.update(old, size);
             if self.policy.is_bounded() {
                 let rank = self.policy.rank(tick, freq, cost, size, inflation);
-                let k = shard
-                    .map
-                    .get_key_value(key)
-                    .map(|(k, _)| Arc::clone(k))
-                    .expect("present");
-                shard.heap.push(Reverse((rank, stamp, k)));
+                if let Some(k) = shard.map.get_key_value(key).map(|(k, _)| Arc::clone(k)) {
+                    shard.heap.push(Reverse((rank, stamp, k)));
+                }
             }
         } else {
             let k: Arc<str> = Arc::from(key);
@@ -373,12 +371,9 @@ impl PageCache {
             return false;
         };
         if let Some((rank, stamp)) = rec {
-            let k = shard
-                .map
-                .get_key_value(key)
-                .map(|(k, _)| Arc::clone(k))
-                .expect("present");
-            shard.heap.push(Reverse((rank, stamp, k)));
+            if let Some(k) = shard.map.get_key_value(key).map(|(k, _)| Arc::clone(k)) {
+                shard.heap.push(Reverse((rank, stamp, k)));
+            }
         }
         true
     }

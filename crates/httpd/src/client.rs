@@ -151,6 +151,7 @@ impl LoadRunner {
     /// report.
     pub fn run(&self, addr: SocketAddr, duration: Duration) -> LoadReport {
         let stop = Arc::new(AtomicBool::new(false));
+        // nagano-lint: allow(D001) — load generator measures real-socket wall-clock throughput by design
         let started = Instant::now();
         let mut handles = Vec::with_capacity(self.clients);
         for c in 0..self.clients {
@@ -168,6 +169,7 @@ impl LoadRunner {
                 while !stop.load(Relaxed) {
                     let path = &paths[i % paths.len()];
                     i += 1;
+                    // nagano-lint: allow(D001) — per-request wall-clock latency over a real TCP socket
                     let t0 = Instant::now();
                     match client.get(path) {
                         Ok((200, body)) => {

@@ -68,11 +68,13 @@ fn unescape_clf_path(path: &str) -> String {
                 out.push('"');
                 i += 3;
             }
-            _ => {
-                let c = path[i..].chars().next().expect("in-bounds char");
-                out.push(c);
-                i += c.len_utf8();
-            }
+            _ => match path[i..].chars().next() {
+                Some(c) => {
+                    out.push(c);
+                    i += c.len_utf8();
+                }
+                None => break,
+            },
         }
     }
     out
@@ -140,15 +142,23 @@ impl<W: Write + Send> AccessLog<W> {
         }
     }
 
-    /// Append one entry.
+    /// Append one entry. A poisoned lock (a panic elsewhere mid-write)
+    /// is recovered rather than propagated: each record is one
+    /// `writeln!`, so the worst case is a single torn line, and access
+    /// logging must outlive any one request.
     pub fn log(&self, entry: &LogEntry) -> std::io::Result<()> {
-        let mut w = self.writer.lock().expect("log writer poisoned");
+        let mut w = match self.writer.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         writeln!(w, "{}", entry.to_clf())
     }
 
     /// Flush and recover the writer.
     pub fn into_inner(self) -> W {
-        self.writer.into_inner().expect("log writer poisoned")
+        self.writer
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 }
 

@@ -103,8 +103,7 @@ impl Server {
                     .name(format!("httpd-worker-{i}"))
                     .spawn(move || {
                         worker_loop(rx, handler, served, timeout, worker_shutdown, observer)
-                    })
-                    .expect("spawn worker"),
+                    })?,
             );
         }
 
@@ -126,8 +125,7 @@ impl Server {
                     }
                 }
                 // Dropping tx disconnects the workers.
-            })
-            .expect("spawn accept thread");
+            })?;
 
         Ok(Server {
             addr: local,
@@ -220,7 +218,13 @@ fn worker_loop(
                 }
             };
             let response = if request.method == "GET" || request.method == "HEAD" {
-                handler.handle(&request)
+                // A panicking server program must cost one response, not
+                // the worker (paper §4: a node-level outage is the fault
+                // tier above a failed request).
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(&request)))
+                    .unwrap_or_else(|_| {
+                        Response::text(Status::InternalError, "internal server error\n")
+                    })
             } else {
                 Response::text(Status::MethodNotAllowed, "only GET/HEAD\n")
             };
@@ -309,6 +313,35 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(server.served(), 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicking_handler_maps_to_500_and_the_worker_survives() {
+        let handler: Arc<dyn Handler> = Arc::new(|req: &Request| {
+            if req.path == "/boom" {
+                panic!("handler bug");
+            }
+            Response::html(Bytes::from_static(b"ok"))
+        });
+        let server = Server::bind(
+            "127.0.0.1:0",
+            handler,
+            ServerConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let (code, _) = client.get("/boom").unwrap();
+        assert_eq!(code, 500);
+        // One worker only: the same thread that caught the panic must
+        // keep serving.
+        let (code, body) = client.get("/fine").unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(&body[..], b"ok");
+        assert_eq!(server.served(), 2);
         server.shutdown();
     }
 

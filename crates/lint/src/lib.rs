@@ -1,0 +1,114 @@
+//! `nagano-lint` — workspace determinism & robustness linter.
+//!
+//! The reproduction's north star (DESIGN.md §8, ROADMAP) is that the
+//! simulation is *deterministic*: same seed → same propagation traces,
+//! same freshness percentiles, byte-identical telemetry exports. This
+//! crate enforces that contract statically, plus the robustness rule
+//! that the serving hot path never panics:
+//!
+//! | rule | enforces |
+//! |------|----------|
+//! | D001 | no `Instant::now`/`SystemTime::now` outside `simcore`/`bench` |
+//! | D002 | no `thread_rng`/OS entropy — only the seeded simcore RNG |
+//! | D003 | no `std::collections::HashMap`/`HashSet` (randomized order) |
+//! | R001 | no `.unwrap()`/`.expect()` in `httpd`/`cache`/`trigger`/`odg` |
+//! | T001 | metric names match `nagano_<subsystem>_<metric>` |
+//!
+//! Intentional exceptions carry an inline allowlist annotation with a
+//! mandatory reason (syntax in DESIGN.md §10); a malformed annotation
+//! is itself an error (A000). Test code (`#[cfg(test)]` / `#[test]`)
+//! is exempt.
+//!
+//! The analyzer is dependency-free by design: it lexes Rust directly
+//! (comments, strings, raw strings, and test items handled in
+//! [`lexer`]) instead of pulling a parser crate into the gate that is
+//! supposed to keep the build honest.
+
+mod lexer;
+mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use lexer::{lex, strip_tests, Allow, LexOutput, MalformedAllow, TokKind, Token};
+pub use rules::{lint_source, Diagnostic, RuleInfo, RULES};
+
+/// Result of linting a whole workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// All findings, ordered by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// True when nothing was found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Collect the production Rust sources of the workspace rooted at
+/// `root`: every `crates/*/src/**/*.rs` plus `examples/**/*.rs`.
+/// Integration-test crates and fixtures are not scanned (the rules
+/// exempt test code anyway). The listing is sorted, so two runs over
+/// the same tree visit files in the same order.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for krate in sorted_dir(&crates_dir)? {
+        let src = krate.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    let examples = root.join("examples");
+    if examples.is_dir() {
+        collect_rs(&examples, &mut files)?;
+    }
+    Ok(files)
+}
+
+fn sorted_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect_rs(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for path in sorted_dir(dir)? {
+        if path.is_dir() {
+            // Never descend into build output.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every production source file under `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for path in workspace_files(root)? {
+        let source = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        report.diagnostics.extend(lint_source(&rel, &source));
+        report.files_scanned += 1;
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}

@@ -1,0 +1,132 @@
+//! CLI entry point: `cargo run -p nagano-lint [-- --json | --rules | --root <path>]`.
+//!
+//! Exits 0 when the workspace is clean, 1 when there are findings, and
+//! 2 on I/O or usage errors. `--json` emits the machine-readable form
+//! consumed by tooling; the default output is one finding per line in
+//! `rule file:line message` shape with an indented suggestion.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nagano_lint::{lint_workspace, Diagnostic, RULES};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--rules" => {
+                for rule in RULES {
+                    println!("{}  {}", rule.id, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!(
+                    "nagano-lint: workspace determinism & robustness linter\n\n\
+                     usage: cargo run -p nagano-lint [-- OPTIONS]\n\n\
+                     options:\n  \
+                     --json         machine-readable output\n  \
+                     --rules        list the rule registry\n  \
+                     --root <path>  workspace root (default: this repo)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nagano-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", render_json(&report.diagnostics, report.files_scanned));
+    } else {
+        for d in &report.diagnostics {
+            println!("{} {}:{} {}", d.rule, d.file, d.line, d.message);
+            println!("     fix: {}", d.suggestion);
+        }
+        if report.is_clean() {
+            println!(
+                "nagano-lint: clean — {} files, {} rules",
+                report.files_scanned,
+                RULES.len()
+            );
+        } else {
+            println!(
+                "nagano-lint: {} violation(s) in {} file(s) scanned",
+                report.diagnostics.len(),
+                report.files_scanned
+            );
+        }
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The repo root: two levels above this crate's manifest when built by
+/// cargo, the current directory otherwise.
+fn default_root() -> PathBuf {
+    match option_env!("CARGO_MANIFEST_DIR") {
+        Some(dir) => PathBuf::from(dir).join("../.."),
+        None => PathBuf::from("."),
+    }
+}
+
+fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::from("{\"files_scanned\":");
+    out.push_str(&files_scanned.to_string());
+    out.push_str(",\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"suggestion\":\"{}\"}}",
+            d.rule,
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message),
+            json_escape(&d.suggestion)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

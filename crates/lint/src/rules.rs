@@ -1,0 +1,388 @@
+//! The rule registry and the token-pattern checks behind each rule.
+//!
+//! Every rule produces machine-readable [`Diagnostic`]s (rule id,
+//! file:line, message, suggestion). Diagnostics can be suppressed by an
+//! allowlist annotation (see DESIGN.md §10) on the same line or the
+//! line directly above; the annotation must carry a reason, and a
+//! marker comment that fails to parse is itself reported as `A000` so a
+//! typo cannot silently disable a rule.
+
+use crate::lexer::{lex, strip_tests, Allow, TokKind, Token};
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`D001`, `R001`, …).
+    pub rule: &'static str,
+    /// Repo-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub suggestion: String,
+}
+
+/// Registry entry describing one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule id.
+    pub id: &'static str,
+    /// One-line summary of what the rule enforces.
+    pub summary: &'static str,
+}
+
+/// The rule registry, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "A000",
+        summary: "allowlist annotations must parse and carry a reason (not suppressible)",
+    },
+    RuleInfo {
+        id: "D001",
+        summary: "no Instant::now/SystemTime::now outside simcore and bench — use the sim clock",
+    },
+    RuleInfo {
+        id: "D002",
+        summary: "no thread_rng/OS entropy — only the seeded simcore DeterministicRng",
+    },
+    RuleInfo {
+        id: "D003",
+        summary: "no std HashMap/HashSet in deterministic paths — FxHashMap + sorted iteration, or BTreeMap",
+    },
+    RuleInfo {
+        id: "R001",
+        summary: "no .unwrap()/.expect() in serving hot-path crates (httpd, cache, trigger, odg)",
+    },
+    RuleInfo {
+        id: "T001",
+        summary: "metric names must match nagano_<subsystem>_<metric>",
+    },
+];
+
+/// Metric-registration methods whose first argument is a metric name.
+const METRIC_FNS: &[&str] = &[
+    "counter",
+    "gauge",
+    "histogram",
+    "bind_counter",
+    "bind_gauge",
+    "bind_histogram",
+];
+
+/// Subsystem segment allowed directly after the `nagano_` prefix.
+const SUBSYSTEMS: &[&str] = &[
+    "bench",
+    "cache",
+    "cluster",
+    "core",
+    "db",
+    "httpd",
+    "odg",
+    "pagegen",
+    "sim",
+    "site",
+    "telemetry",
+    "trigger",
+    "workload",
+];
+
+/// Which rules apply to a file, derived from its repo-relative path.
+struct Scope {
+    d001: bool,
+    d002: bool,
+    r001: bool,
+}
+
+impl Scope {
+    fn of(rel_path: &str) -> Scope {
+        let krate = rel_path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or(if rel_path.starts_with("examples") {
+                "examples"
+            } else {
+                ""
+            });
+        Scope {
+            // simcore owns the clock; bench measures real machines.
+            d001: !matches!(krate, "simcore" | "bench"),
+            // simcore owns the RNG.
+            d002: krate != "simcore",
+            // The serving hot path.
+            r001: matches!(krate, "httpd" | "cache" | "trigger" | "odg"),
+        }
+    }
+}
+
+/// Lint one source file. `rel_path` is the repo-relative path (used for
+/// rule scoping and reporting); `source` is the file's text.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let toks = strip_tests(&lexed.tokens);
+    let scope = Scope::of(rel_path);
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    for m in &lexed.malformed {
+        diags.push(Diagnostic {
+            rule: "A000",
+            file: rel_path.to_string(),
+            line: m.line,
+            message: format!("malformed allowlist annotation: {}", m.detail),
+            suggestion: "write `// nagano-lint: allow(<RULE>) — <reason>`".to_string(),
+        });
+    }
+    if scope.d001 {
+        rule_d001(rel_path, &toks, &mut diags);
+    }
+    if scope.d002 {
+        rule_d002(rel_path, &toks, &mut diags);
+    }
+    rule_d003(rel_path, &toks, &mut diags);
+    if scope.r001 {
+        rule_r001(rel_path, &toks, &mut diags);
+    }
+    rule_t001(rel_path, &toks, &mut diags);
+
+    diags.retain(|d| d.rule == "A000" || !suppressed(d, &lexed.allows));
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+/// An allowlist annotation suppresses a diagnostic of its rule on the
+/// same line (trailing comment) or the line directly below (comment
+/// above the offending statement).
+fn suppressed(d: &Diagnostic, allows: &[Allow]) -> bool {
+    allows
+        .iter()
+        .any(|a| a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line))
+}
+
+fn ident<'a>(toks: &'a [Token], i: usize) -> Option<&'a str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn strlit<'a>(toks: &'a [Token], i: usize) -> Option<&'a str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::StrLit(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct(toks: &[Token], i: usize, c: char) -> bool {
+    matches!(toks.get(i), Some(t) if t.kind == TokKind::Punct(c))
+}
+
+/// D001: `Instant::now` / `SystemTime::now` outside simcore/bench.
+fn rule_d001(file: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len() {
+        let Some(name) = ident(toks, i) else { continue };
+        if (name == "Instant" || name == "SystemTime")
+            && punct(toks, i + 1, ':')
+            && punct(toks, i + 2, ':')
+            && ident(toks, i + 3) == Some("now")
+        {
+            diags.push(Diagnostic {
+                rule: "D001",
+                file: file.to_string(),
+                line: toks[i].line,
+                message: format!("wall-clock `{name}::now` in deterministic code"),
+                suggestion: "use the simcore clock (SimTime/SimDuration); host time is only \
+                             allowed in simcore, bench, or under an allowlist annotation"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// D002: OS entropy / unseeded RNG construction.
+fn rule_d002(file: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
+    const ENTROPY: &[&str] = &[
+        "thread_rng",
+        "OsRng",
+        "from_entropy",
+        "from_os_rng",
+        "getrandom",
+    ];
+    for i in 0..toks.len() {
+        let Some(name) = ident(toks, i) else { continue };
+        let qualified_rand_rng = name == "rand"
+            && punct(toks, i + 1, ':')
+            && punct(toks, i + 2, ':')
+            && ident(toks, i + 3) == Some("rng");
+        if ENTROPY.contains(&name) || qualified_rand_rng {
+            diags.push(Diagnostic {
+                rule: "D002",
+                file: file.to_string(),
+                line: toks[i].line,
+                message: format!("OS-entropy RNG source `{name}`"),
+                suggestion: "use nagano_simcore::DeterministicRng seeded from the run seed \
+                             (fork per component for independent streams)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// D003: `std::collections::{HashMap,HashSet}` anywhere in the
+/// workspace — their iteration order is seeded per-process.
+fn rule_d003(file: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        let at_std_collections = ident(toks, i) == Some("std")
+            && punct(toks, i + 1, ':')
+            && punct(toks, i + 2, ':')
+            && ident(toks, i + 3) == Some("collections");
+        if !at_std_collections {
+            i += 1;
+            continue;
+        }
+        // Scan the rest of the path / use-group up to the statement end.
+        let mut j = i + 4;
+        while j < toks.len() && !punct(toks, j, ';') {
+            if let Some(name) = ident(toks, j) {
+                if name == "HashMap" || name == "HashSet" {
+                    diags.push(Diagnostic {
+                        rule: "D003",
+                        file: file.to_string(),
+                        line: toks[j].line,
+                        message: format!("randomized-order `std::collections::{name}`"),
+                        suggestion: "use rustc_hash::FxHashMap/FxHashSet with sorted \
+                                     iteration, or a BTreeMap/BTreeSet"
+                            .to_string(),
+                    });
+                }
+            }
+            j += 1;
+        }
+        i = j;
+    }
+}
+
+/// R001: `.unwrap()` / `.expect(` in serving hot-path crates.
+fn rule_r001(file: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len() {
+        if !punct(toks, i, '.') {
+            continue;
+        }
+        let Some(name) = ident(toks, i + 1) else {
+            continue;
+        };
+        if (name == "unwrap" || name == "expect") && punct(toks, i + 2, '(') {
+            diags.push(Diagnostic {
+                rule: "R001",
+                file: file.to_string(),
+                line: toks[i + 1].line,
+                message: format!("`.{name}()` in a serving hot-path crate"),
+                suggestion: "return a typed error that maps to a 4xx/5xx response (or \
+                             recover locally); a panic here is a node-level outage"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// T001: metric names passed to registry methods must follow the
+/// `nagano_<subsystem>_<metric>` convention.
+fn rule_t001(file: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len() {
+        if !punct(toks, i, '.') {
+            continue;
+        }
+        let Some(name) = ident(toks, i + 1) else {
+            continue;
+        };
+        if !METRIC_FNS.contains(&name) || !punct(toks, i + 2, '(') {
+            continue;
+        }
+        let Some(metric) = strlit(toks, i + 3) else {
+            continue; // Name built dynamically — out of static reach.
+        };
+        if !valid_metric_name(metric) {
+            diags.push(Diagnostic {
+                rule: "T001",
+                file: file.to_string(),
+                line: toks[i + 1].line,
+                message: format!("non-conforming metric name \"{metric}\""),
+                suggestion: format!(
+                    "rename to nagano_<subsystem>_<metric> (subsystems: {})",
+                    SUBSYSTEMS.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+/// `nagano_<subsystem>_<metric>` with a known subsystem, all
+/// `[a-z0-9_]`, and a non-empty metric part.
+fn valid_metric_name(name: &str) -> bool {
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    {
+        return false;
+    }
+    let Some(rest) = name.strip_prefix("nagano_") else {
+        return false;
+    };
+    let Some(sub) = rest.split('_').next() else {
+        return false;
+    };
+    if !SUBSYSTEMS.contains(&sub) {
+        return false;
+    }
+    let metric = &rest[sub.len()..];
+    metric.starts_with('_') && metric.len() > 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_name_validation() {
+        assert!(valid_metric_name("nagano_cache_hits_total"));
+        assert!(valid_metric_name("nagano_trigger_latency_seconds"));
+        assert!(!valid_metric_name("cache_hits"), "missing prefix");
+        assert!(!valid_metric_name("nagano_bogus_value"), "bad subsystem");
+        assert!(!valid_metric_name("nagano_cache"), "no metric part");
+        assert!(!valid_metric_name("nagano_cache_Hits"), "uppercase");
+    }
+
+    #[test]
+    fn scope_exemptions() {
+        let src = "pub fn f() { let _ = Instant::now(); }";
+        assert!(lint_source("crates/simcore/src/time.rs", src).is_empty());
+        assert!(lint_source("crates/bench/src/run.rs", src).is_empty());
+        assert_eq!(lint_source("crates/cluster/src/sim.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn r001_only_in_hot_path_crates() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(lint_source("crates/cache/src/cache.rs", src).len(), 1);
+        assert!(lint_source("crates/workload/src/gen.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }";
+        assert!(lint_source("crates/cache/src/cache.rs", src).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_are_ordered_and_complete() {
+        let src = "use std::collections::HashMap;\npub fn f() { let _ = Instant::now(); }\n";
+        let diags = lint_source("crates/cluster/src/sim.rs", src);
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].rule, "D003");
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[1].rule, "D001");
+        assert_eq!(diags[1].line, 2);
+        assert!(!diags[1].suggestion.is_empty());
+    }
+}

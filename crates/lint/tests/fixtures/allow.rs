@@ -1,0 +1,10 @@
+// Fixture: a well-formed allowlist annotation suppresses the rule.
+use std::time::Instant;
+
+pub fn profile() -> u64 {
+    // nagano-lint: allow(D001) — host-time profiling is the point of this fixture
+    let start = Instant::now();
+    let same_line = Instant::now(); // nagano-lint: allow(D001) — trailing form
+    let _ = same_line;
+    start.elapsed().as_micros() as u64
+}

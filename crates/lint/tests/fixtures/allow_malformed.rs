@@ -1,0 +1,9 @@
+// Fixture: a reason-less annotation is malformed (A000) and does NOT
+// suppress the rule it names.
+use std::time::Instant;
+
+pub fn profile() -> u64 {
+    // nagano-lint: allow(D001)
+    let start = Instant::now();
+    start.elapsed().as_micros() as u64
+}

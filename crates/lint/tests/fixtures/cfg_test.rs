@@ -1,0 +1,19 @@
+// Fixture: test-only code is exempt from every rule.
+pub fn shipped() -> u8 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn wall_clock_and_unwrap_are_fine_here() {
+        let t = Instant::now();
+        let mut m = HashMap::new();
+        m.insert("k", super::shipped());
+        assert_eq!(m.get("k").copied().unwrap(), 7);
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: D001 — wall-clock reads in deterministic code.
+use std::time::{Instant, SystemTime};
+
+pub fn measure() -> u64 {
+    let start = Instant::now();
+    let _ = SystemTime::now();
+    start.elapsed().as_micros() as u64
+}

@@ -1,0 +1,10 @@
+// Fixture: D002 — OS entropy instead of the seeded simcore RNG.
+pub fn roll() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..6)
+}
+
+pub fn roll_again() -> u32 {
+    let mut rng = rand::rng();
+    rng.random_range(0..6)
+}

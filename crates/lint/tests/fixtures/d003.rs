@@ -1,0 +1,6 @@
+// Fixture: D003 — randomized-iteration-order std collections.
+use std::collections::{HashMap, HashSet};
+
+pub fn build() -> (HashMap<String, u64>, HashSet<u64>) {
+    (HashMap::new(), HashSet::new())
+}

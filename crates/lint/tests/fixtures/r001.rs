@@ -1,0 +1,14 @@
+// Fixture: R001 — panics in the serving hot path.
+pub fn serve(page: Option<&str>) -> &str {
+    let body = page.unwrap();
+    body
+}
+
+pub fn serve_with_message(page: Option<&str>) -> &str {
+    page.expect("page must be cached")
+}
+
+// Not violations: fallible combinators and tuple-index chains.
+pub fn graceful(page: Option<&'static str>, pair: (Option<u8>, u8)) -> (&'static str, u8) {
+    (page.unwrap_or("fallback"), pair.0.unwrap_or(pair.1))
+}

@@ -1,0 +1,6 @@
+// Fixture: T001 — metric names off the nagano_<subsystem>_<metric> convention.
+pub fn bind(reg: &Registry, g: &Gauge) {
+    reg.counter("cache_hits_total", &[]).incr(); // missing prefix
+    reg.bind_gauge("nagano_bogus_value", &[], g); // unknown subsystem
+    reg.histogram("nagano_cache_fill_seconds", &[], 1e-3, 10.0); // conforming
+}

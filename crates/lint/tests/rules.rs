@@ -1,0 +1,103 @@
+//! Fixture-driven tests: each rule must fire on its fixture, a
+//! well-formed allowlist annotation must suppress it, and test-only
+//! code must be exempt. Fixtures live under `tests/fixtures/` — they
+//! are lexed by the linter, never compiled by cargo.
+
+use nagano_lint::{lint_source, Diagnostic};
+
+/// Lint a fixture as if it lived in a serving hot-path crate (all
+/// rules in scope).
+fn lint_hot(source: &str) -> Vec<Diagnostic> {
+    lint_source("crates/httpd/src/fixture.rs", source)
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn d001_fires_on_wall_clock() {
+    let diags = lint_hot(include_str!("fixtures/d001.rs"));
+    assert_eq!(rules_of(&diags), vec!["D001", "D001"]);
+    assert_eq!(diags[0].line, 5, "Instant::now call site");
+    assert_eq!(diags[1].line, 6, "SystemTime::now call site");
+    assert!(diags[0].message.contains("Instant::now"));
+    assert!(diags[0].suggestion.contains("simcore clock"));
+}
+
+#[test]
+fn d002_fires_on_entropy() {
+    let diags = lint_hot(include_str!("fixtures/d002.rs"));
+    assert_eq!(rules_of(&diags), vec!["D002", "D002"]);
+    assert!(diags[0].message.contains("thread_rng"));
+    assert!(diags[1].message.contains("rand"));
+}
+
+#[test]
+fn d003_fires_on_std_hash_collections() {
+    let diags = lint_hot(include_str!("fixtures/d003.rs"));
+    assert_eq!(rules_of(&diags), vec!["D003", "D003"]);
+    assert!(diags[0].message.contains("HashMap"));
+    assert!(diags[1].message.contains("HashSet"));
+    // Only the `use` line is flagged, not every local mention.
+    assert_eq!(diags[0].line, 2);
+    assert_eq!(diags[1].line, 2);
+}
+
+#[test]
+fn r001_fires_on_unwrap_and_expect_only() {
+    let diags = lint_hot(include_str!("fixtures/r001.rs"));
+    assert_eq!(rules_of(&diags), vec!["R001", "R001"]);
+    assert!(diags[0].message.contains("unwrap"));
+    assert!(diags[1].message.contains("expect"));
+    // `unwrap_or` and tuple-index chains in the same fixture stay clean.
+}
+
+#[test]
+fn t001_fires_on_nonconforming_metric_names() {
+    let diags = lint_hot(include_str!("fixtures/t001.rs"));
+    assert_eq!(rules_of(&diags), vec!["T001", "T001"]);
+    assert!(diags[0].message.contains("cache_hits_total"));
+    assert!(diags[1].message.contains("nagano_bogus_value"));
+    assert!(diags[0].suggestion.contains("nagano_<subsystem>_<metric>"));
+}
+
+#[test]
+fn allow_annotation_suppresses_the_rule() {
+    let diags = lint_hot(include_str!("fixtures/allow.rs"));
+    assert!(
+        diags.is_empty(),
+        "annotated fixture should be clean, got {diags:?}"
+    );
+}
+
+#[test]
+fn malformed_allow_is_reported_and_does_not_suppress() {
+    let diags = lint_hot(include_str!("fixtures/allow_malformed.rs"));
+    assert_eq!(rules_of(&diags), vec!["A000", "D001"]);
+    assert!(diags[0].message.contains("reason"));
+}
+
+#[test]
+fn test_code_is_exempt() {
+    let diags = lint_hot(include_str!("fixtures/cfg_test.rs"));
+    assert!(diags.is_empty(), "cfg(test) code is exempt, got {diags:?}");
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    // The gate the CI job enforces, exercised from the test suite too:
+    // the repo this crate lives in must lint clean.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = nagano_lint::lint_workspace(&root).expect("scan workspace");
+    assert!(
+        report.files_scanned > 50,
+        "scanned {}",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{:#?}",
+        report.diagnostics
+    );
+}

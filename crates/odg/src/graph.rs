@@ -224,23 +224,33 @@ impl Odg {
         if !(weight.is_finite() && weight > 0.0) {
             return Err(OdgError::BadWeight);
         }
-        if !self.nodes.contains_key(&to) {
-            return Err(OdgError::UnknownNode(to));
+        if !self.nodes.contains_key(&from) {
+            return Err(OdgError::UnknownNode(from));
         }
-        let node = self
-            .nodes
-            .get_mut(&from)
-            .ok_or(OdgError::UnknownNode(from))?;
-        if let Some(e) = node.out.iter_mut().find(|e| e.to == to) {
-            e.weight = weight;
-        } else {
-            node.out.push(Edge { to, weight });
-            self.edge_count += 1;
+        let exists = {
+            let node = self
+                .nodes
+                .get_mut(&from)
+                .ok_or(OdgError::UnknownNode(from))?;
+            if let Some(e) = node.out.iter_mut().find(|e| e.to == to) {
+                e.weight = weight;
+                true
+            } else {
+                false
+            }
+        };
+        if !exists {
+            // Backlink first: both endpoints are still untouched if `to`
+            // is unknown, so a failed call leaves the graph unchanged.
             self.nodes
                 .get_mut(&to)
-                .expect("checked above")
+                .ok_or(OdgError::UnknownNode(to))?
                 .preds
                 .push(from);
+            if let Some(node) = self.nodes.get_mut(&from) {
+                node.out.push(Edge { to, weight });
+                self.edge_count += 1;
+            }
         }
         self.generation += 1;
         Ok(())

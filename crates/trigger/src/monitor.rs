@@ -2,7 +2,6 @@
 //! → distribute.
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -12,6 +11,7 @@ use nagano_cache::CacheFleet;
 use nagano_db::Transaction;
 use nagano_odg::{DupEngine, Interner, NodeId, StalenessPolicy};
 use nagano_pagegen::{PageKey, PageRegistry, RenderOutput, Renderer};
+use nagano_simcore::SimDuration;
 
 use crate::policy::ConsistencyPolicy;
 use crate::stats::TriggerStats;
@@ -27,8 +27,11 @@ pub struct TxnOutcome {
     pub tolerated: Vec<PageKey>,
     /// ODG nodes visited by the propagation.
     pub visited: usize,
-    /// Wall-clock processing latency.
-    pub latency: std::time::Duration,
+    /// Modeled processing latency on the sim clock — a deterministic
+    /// function of the work done (see [`modeled_latency`]), never the
+    /// host wall clock, so same-seed runs export identical latency
+    /// distributions.
+    pub latency: SimDuration,
 }
 
 impl TxnOutcome {
@@ -36,6 +39,23 @@ impl TxnOutcome {
     pub fn affected(&self) -> usize {
         self.regenerated.len() + self.invalidated.len() + self.tolerated.len()
     }
+}
+
+/// Modeled trigger-monitor service time: a propagation visit per ODG
+/// node, an invalidation message per dropped page, and regeneration CPU
+/// (the renderer's modeled cost) spread over a worker pool. Calibrated
+/// to the paper's trigger-monitor throughput figures; the point is that
+/// it is a pure function of the work done, so the exported
+/// `nagano_trigger_latency_seconds` distribution is identical across
+/// same-seed runs.
+fn modeled_latency(visited: usize, invalidated: usize, render_ms: f64) -> SimDuration {
+    const VISIT_COST_US: u64 = 20;
+    const INVALIDATE_COST_US: u64 = 50;
+    const RENDER_WORKERS: u64 = 8;
+    let render_us = (render_ms * 1_000.0 / RENDER_WORKERS as f64).round() as u64;
+    SimDuration::from_micros(
+        visited as u64 * VISIT_COST_US + invalidated as u64 * INVALIDATE_COST_US + render_us,
+    )
 }
 
 /// State shared behind one mutex: the graph and the name interner change
@@ -140,9 +160,12 @@ impl TriggerMonitor {
             .ensure_node(object, nagano_odg::NodeKind::Object);
         for dep in &out.deps {
             let data = g.names.intern(&dep.data_key);
-            g.dup
-                .add_dependency(data, object, dep.weight)
-                .expect("dependency registration");
+            // A non-finite/non-positive weight is a renderer bug; keep
+            // the invalidation edge alive with unit weight rather than
+            // panicking the serving path over a bad number.
+            if g.dup.add_dependency(data, object, dep.weight).is_err() {
+                let _ = g.dup.add_dependency(data, object, 1.0);
+            }
         }
     }
 
@@ -162,21 +185,19 @@ impl TriggerMonitor {
         if txns.is_empty() {
             return TxnOutcome::default();
         }
-        let start = Instant::now();
         let merged: Vec<&Transaction> = txns.iter().map(|t| t.borrow()).collect();
         let outcome = match self.policy {
             ConsistencyPolicy::Conservative96 => self.process_conservative(&merged),
             _ => self.process_precise(&merged),
         };
-        let latency = start.elapsed();
         self.stats.record_txn(
             outcome.regenerated.len() as u64,
             outcome.invalidated.len() as u64,
             outcome.tolerated.len() as u64,
             outcome.visited as u64,
-            latency.as_micros() as u64,
+            outcome.latency.as_micros(),
         );
-        TxnOutcome { latency, ..outcome }
+        outcome
     }
 
     fn process_precise(&self, txns: &[&Transaction]) -> TxnOutcome {
@@ -216,6 +237,7 @@ impl TriggerMonitor {
                     .par_iter()
                     .map(|&k| (k, self.renderer.render(k)))
                     .collect();
+                let render_ms: f64 = rendered.iter().map(|(_, out)| out.cost_ms).sum();
                 let mut regenerated = Vec::with_capacity(rendered.len());
                 for (key, out) in rendered {
                     self.register_render(key, &out);
@@ -226,6 +248,7 @@ impl TriggerMonitor {
                     regenerated,
                     tolerated,
                     visited,
+                    latency: modeled_latency(visited, 0, render_ms),
                     ..Default::default()
                 }
             }
@@ -234,6 +257,7 @@ impl TriggerMonitor {
                     self.fleet.invalidate_everywhere(&key.to_url());
                 }
                 TxnOutcome {
+                    latency: modeled_latency(visited, stale.len(), 0.0),
                     invalidated: stale,
                     tolerated,
                     visited,
@@ -279,6 +303,7 @@ impl TriggerMonitor {
             }
         }
         TxnOutcome {
+            latency: modeled_latency(visited, invalidated.len(), 0.0),
             invalidated,
             visited,
             ..Default::default()

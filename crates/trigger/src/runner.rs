@@ -70,6 +70,7 @@ impl TriggerRunner {
                     }
                 }
             })
+            // nagano-lint: allow(R001) — one-time startup spawn, not a per-request path; no thread means no monitor at all
             .expect("spawn trigger monitor thread");
         TriggerRunner {
             handle: Some(handle),

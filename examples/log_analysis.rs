@@ -27,6 +27,7 @@ fn main() {
         Arc::new(move |req, status, bytes| {
             let _ = log.log(&LogEntry {
                 host: "203.0.113.1".into(),
+                // nagano-lint: allow(D001) — real HTTP traffic demo stamps real timestamps
                 epoch_secs: SystemTime::now()
                     .duration_since(UNIX_EPOCH)
                     .map(|d| d.as_secs())
