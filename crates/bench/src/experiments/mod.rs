@@ -37,11 +37,13 @@ pub fn cluster_config(config: &ExpConfig, policy: ConsistencyPolicy) -> ClusterC
         start_day: 1,
         end_day: 16,
         failure_plan: Vec::new(),
+        fault_plan: Vec::new(),
         us_congestion: (7, 9, 1.45),
         updates_on_serving_nodes: false,
         export_dir: Some(
             std::path::PathBuf::from("target/experiments/telemetry").join(policy.label()),
         ),
+        audit_convergence: false,
     }
 }
 

@@ -4,7 +4,10 @@
 
 use serde_json::json;
 
-use nagano_cluster::{random_soak_plan, ClusterSim, FailureKind, FailurePlanEntry};
+use nagano_cluster::{
+    random_fault_plan, random_soak_plan, scripted_chaos_plan, ClusterSim, FailureKind,
+    FailurePlanEntry, SITES,
+};
 use nagano_pagegen::{NavigationModel, SiteStructure};
 use nagano_simcore::{DeterministicRng, SimTime};
 use nagano_trigger::ConsistencyPolicy;
@@ -471,8 +474,20 @@ pub fn soak(config: &ExpConfig) -> ExpResult {
     cfg.start_day = start;
     cfg.end_day = end;
     cfg.failure_plan = random_soak_plan(start, end, per_day, config.seed ^ _soak_seed());
+    // Data-plane faults (lossy/delayed/partitioned replication links,
+    // monitor crashes) drawn alongside the routing faults, from an
+    // independent stream.
+    let data_per_day = if config.quick { 2 } else { 3 };
+    cfg.fault_plan = random_fault_plan(start, end, data_per_day, config.seed ^ _data_seed());
+    cfg.audit_convergence = true;
     let n_failures = cfg.failure_plan.len() / 2;
+    let n_data_faults = cfg.fault_plan.len() / 2;
     let report = ClusterSim::new(cfg).run();
+    let converged = report
+        .convergence
+        .iter()
+        .filter(|r| r.converged_at.is_some())
+        .count();
 
     let mut table = TextTable::new(["metric", "value"]);
     table
@@ -480,6 +495,10 @@ pub fn soak(config: &ExpConfig) -> ExpResult {
         .row([
             "component failures injected".to_string(),
             n_failures.to_string(),
+        ])
+        .row([
+            "data-plane faults injected".to_string(),
+            n_data_faults.to_string(),
         ])
         .row([
             "requests (simulated)".to_string(),
@@ -500,15 +519,49 @@ pub fn soak(config: &ExpConfig) -> ExpResult {
         .row([
             "worst freshness".to_string(),
             format!("{:.1} s", report.freshness_max),
+        ])
+        .row([
+            "replication txns dropped".to_string(),
+            report.replication_dropped.to_string(),
+        ])
+        .row(["catch-up retries".to_string(), report.retries.to_string()])
+        .row([
+            "catch-up txns replayed".to_string(),
+            report.catch_up_applied.to_string(),
+        ])
+        .row([
+            "monitor recoveries".to_string(),
+            report.recoveries.to_string(),
+        ])
+        .row([
+            "worst staleness under failure".to_string(),
+            format!("{:.1} s", report.staleness_max),
+        ])
+        .row([
+            "fault tiers converged".to_string(),
+            format!("{}/{}", converged, report.convergence.len()),
+        ])
+        .row([
+            "stale pages after audit".to_string(),
+            report
+                .stale_pages
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "n/a".to_string()),
         ]);
     let verdict = format!(
         "Paper: 'the site was available 100% of the time' across the entire Games, with \
          redundancy absorbing routine component failures.\nMeasured: {} random \
-         node/frame/dispatcher/complex failures (each lasting 30-90 minutes) across the \
-         soak window; availability {:.4}%, hit rate {:.1}%, freshness bound intact.",
+         node/frame/dispatcher/complex failures (each lasting 30-90 minutes) plus {} \
+         data-plane faults across the soak window; availability {:.4}%, hit rate {:.1}%, \
+         {} replayed txns, {}/{} fault tiers converged, {} stale pages after audit.",
         n_failures,
+        n_data_faults,
         report.availability() * 100.0,
         report.hit_rate() * 100.0,
+        report.catch_up_applied,
+        converged,
+        report.convergence.len(),
+        report.stale_pages.unwrap_or(0),
     );
     ExpResult {
         id: "soak",
@@ -516,9 +569,167 @@ pub fn soak(config: &ExpConfig) -> ExpResult {
         rendered: table.render(),
         json: json!({
             "failures": n_failures,
+            "data_faults": n_data_faults,
             "availability": report.availability(),
             "failed": report.failed_requests,
             "hit_rate": report.hit_rate(),
+            "replication_dropped": report.replication_dropped,
+            "catch_up_retries": report.retries,
+            "catch_up_applied": report.catch_up_applied,
+            "recoveries": report.recoveries,
+            "staleness_max_s": report.staleness_max,
+            "converged": converged,
+            "convergence_watches": report.convergence.len(),
+            "stale_pages": report.stale_pages,
+        }),
+        verdict,
+    }
+}
+
+/// Deterministic data-plane chaos: update-dense days under the scripted
+/// fault schedule — a lossy feed, a delayed feed, a reordered
+/// downstream link, a trigger-monitor crash, a partitioned primary feed
+/// (exercising the Tokyo→Schaumburg re-feed), and a partitioned
+/// downstream link — reporting freshness/hit-rate degradation against a
+/// fault-free run of the same window and the time-to-converge for every
+/// fault tier.
+pub fn chaos(config: &ExpConfig) -> ExpResult {
+    let (start, end) = if config.quick { (10, 10) } else { (10, 12) };
+
+    // Fault-free run of the same window: the degradation baseline.
+    let mut clean_cfg = cluster_config(config, ConsistencyPolicy::UpdateInPlace);
+    clean_cfg.start_day = start;
+    clean_cfg.end_day = end;
+    clean_cfg.export_dir = None;
+    let clean = ClusterSim::new(clean_cfg).run();
+
+    let mut cfg = cluster_config(config, ConsistencyPolicy::UpdateInPlace);
+    cfg.start_day = start;
+    cfg.end_day = end;
+    cfg.export_dir = Some(std::path::PathBuf::from(
+        "target/experiments/telemetry/chaos",
+    ));
+    let horizon = SimTime::at(end + 1, 0, 0);
+    cfg.fault_plan = scripted_chaos_plan(start)
+        .into_iter()
+        .filter(|e| e.at < horizon)
+        .collect();
+    cfg.audit_convergence = true;
+    let n_faults = cfg.fault_plan.len() / 2;
+    let report = ClusterSim::new(cfg).run();
+
+    let fmt_time = |t: nagano_simcore::SimTime| {
+        format!(
+            "d{} {:02}:{:02}",
+            t.day(),
+            t.hour_of_day(),
+            t.minute_of_day() % 60
+        )
+    };
+    let mut table = TextTable::new(["fault tier", "site", "healed", "time to converge"]);
+    for rec in &report.convergence {
+        table.row([
+            rec.label.clone(),
+            SITES[rec.site].name.to_string(),
+            fmt_time(rec.healed_at),
+            rec.time_to_converge()
+                .map(|d| format!("{:.0} s", d.as_secs_f64()))
+                .unwrap_or_else(|| "not converged".to_string()),
+        ]);
+    }
+
+    let mut metrics = TextTable::new(["metric", "clean", "chaos"]);
+    metrics
+        .row([
+            "cache hit rate".to_string(),
+            format!("{:.2}%", clean.hit_rate() * 100.0),
+            format!("{:.2}%", report.hit_rate() * 100.0),
+        ])
+        .row([
+            "freshness p95".to_string(),
+            format!("{:.1} s", clean.freshness_hist.percentile(95.0)),
+            format!("{:.1} s", report.freshness_hist.percentile(95.0)),
+        ])
+        .row([
+            "worst freshness".to_string(),
+            format!("{:.1} s", clean.freshness_max),
+            format!("{:.1} s", report.freshness_max),
+        ])
+        .row([
+            "worst staleness under failure".to_string(),
+            "-".to_string(),
+            format!("{:.1} s", report.staleness_max),
+        ])
+        .row([
+            "replication txns dropped".to_string(),
+            clean.replication_dropped.to_string(),
+            report.replication_dropped.to_string(),
+        ])
+        .row([
+            "catch-up retries".to_string(),
+            clean.retries.to_string(),
+            report.retries.to_string(),
+        ])
+        .row([
+            "catch-up txns replayed".to_string(),
+            clean.catch_up_applied.to_string(),
+            report.catch_up_applied.to_string(),
+        ])
+        .row([
+            "monitor recoveries".to_string(),
+            clean.recoveries.to_string(),
+            report.recoveries.to_string(),
+        ]);
+
+    let all_converged = !report.convergence.is_empty()
+        && report.convergence.iter().all(|r| r.converged_at.is_some());
+    let watermarks_equal = report.site_watermarks == [report.master_txns; 4]
+        && report.monitor_watermarks == [report.master_txns; 4];
+    let verdict = format!(
+        "Scripted data-plane chaos over days {start}-{end}: {n_faults} faults injected, \
+         {} tiers watched, all converged: {}; replica and monitor watermarks equal the \
+         master log ({} txns): {}; end-of-run audit found {} stale pages. Hit rate \
+         {:.2}% → {:.2}%, worst freshness {:.1} s → {:.1} s.",
+        report.convergence.len(),
+        all_converged,
+        report.master_txns,
+        watermarks_equal,
+        report.stale_pages.unwrap_or(0),
+        clean.hit_rate() * 100.0,
+        report.hit_rate() * 100.0,
+        clean.freshness_max,
+        report.freshness_max,
+    );
+    ExpResult {
+        id: "chaos",
+        title: "Data-plane fault injection (scripted chaos schedule)",
+        rendered: format!("{}\n{}", table.render(), metrics.render()),
+        json: json!({
+            "faults": n_faults,
+            "tiers": report
+                .convergence
+                .iter()
+                .map(|r| {
+                    json!({
+                        "label": r.label,
+                        "site": SITES[r.site].name,
+                        "time_to_converge_s": r.time_to_converge().map(|d| d.as_secs_f64()),
+                    })
+                })
+                .collect::<Vec<_>>(),
+            "all_converged": all_converged,
+            "watermarks_equal": watermarks_equal,
+            "master_txns": report.master_txns,
+            "stale_pages": report.stale_pages,
+            "hit_rate_clean": clean.hit_rate(),
+            "hit_rate_chaos": report.hit_rate(),
+            "freshness_max_clean_s": clean.freshness_max,
+            "freshness_max_chaos_s": report.freshness_max,
+            "staleness_max_s": report.staleness_max,
+            "replication_dropped": report.replication_dropped,
+            "catch_up_retries": report.retries,
+            "catch_up_applied": report.catch_up_applied,
+            "recoveries": report.recoveries,
         }),
         verdict,
     }
@@ -526,6 +737,10 @@ pub fn soak(config: &ExpConfig) -> ExpResult {
 
 const fn _soak_seed() -> u64 {
     0x50a1c
+}
+
+const fn _data_seed() -> u64 {
+    0xda7a
 }
 
 /// The 1996 co-location problem: running updates on the serving

@@ -33,6 +33,7 @@
 //! | `mix` | supplementary: request share by content category |
 //! | `contention` | 1996 co-located updates vs 1998 separation |
 //! | `soak` | random-failure soak across the Games (availability) |
+//! | `chaos` | data-plane fault injection: scripted lossy/partitioned links + monitor crashes |
 //! | `summary` | one-screen headline scoreboard |
 
 #![forbid(unsafe_code)]
@@ -100,7 +101,7 @@ impl ExpResult {
 }
 
 /// All experiment ids in canonical order.
-pub const ALL_EXPERIMENTS: [&str; 23] = [
+pub const ALL_EXPERIMENTS: [&str; 24] = [
     "fig18",
     "fig20",
     "fig21",
@@ -123,6 +124,7 @@ pub const ALL_EXPERIMENTS: [&str; 23] = [
     "mix",
     "contention",
     "soak",
+    "chaos",
     "summary",
 ];
 
@@ -152,6 +154,7 @@ pub fn run_experiment(id: &str, config: &ExpConfig) -> Option<ExpResult> {
         "mix" => e::ablations::mix(config),
         "contention" => e::systems::contention(config),
         "soak" => e::systems::soak(config),
+        "chaos" => e::systems::chaos(config),
         "summary" => e::systems::summary(config),
         _ => return None,
     })

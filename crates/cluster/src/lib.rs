@@ -19,16 +19,26 @@
 //!   availability / freshness experiments).
 //! * [`remote`] — parameterised models of the *other* web sites measured
 //!   in Tables 1–2 (competitor ISP home pages).
+//! * [`faults`] — deterministic data-plane fault plans: lossy / delayed /
+//!   reordered / partitioned replication edges and trigger-monitor
+//!   crash/recovery, scheduled on the sim clock.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod remote;
 pub mod sim;
 pub mod state;
 pub mod topology;
 
+pub use faults::{
+    random_fault_plan, scripted_chaos_plan, DataFaultKind, DataFaultPlanEntry, EdgeSpec, LinkFault,
+    REPLICATION_EDGES,
+};
 pub use remote::RemoteSite;
-pub use sim::{random_soak_plan, ClusterConfig, ClusterReport, ClusterSim, FailurePlanEntry};
+pub use sim::{
+    random_soak_plan, ClusterConfig, ClusterReport, ClusterSim, ConvergenceRecord, FailurePlanEntry,
+};
 pub use state::{ClusterState, FailureKind, SiteState};
 pub use topology::{Advert, Msirp, RouteDecision, SiteId, SITES};

@@ -11,17 +11,21 @@ use std::sync::Arc;
 use rustc_hash::FxHashMap;
 
 use nagano_cache::{CacheConfig, CacheFleet, StatsSnapshot};
-use nagano_db::{seed_games, GamesConfig, OlympicDb, Transaction, TxnId};
+use nagano_db::{seed_games, DeliverOutcome, GamesConfig, OlympicDb, Replica, Transaction, TxnId};
 use nagano_httpd::HttpdMetrics;
 use nagano_pagegen::{PageKey, PageRegistry, Renderer};
 use nagano_simcore::{
     DeterministicRng, EventQueue, Histogram, LinkClass, LinkModel, SimDuration, SimTime,
     TimeSeries, Welford,
 };
-use nagano_telemetry::{json_snapshot, prometheus_text, Telemetry, Trace, TraceKind};
+use nagano_telemetry::{json_snapshot, prometheus_text, Counter, Telemetry, Trace, TraceKind};
 use nagano_trigger::{ConsistencyPolicy, TriggerMonitor};
 use nagano_workload::{Region, RequestModel, UpdateSchedule};
 
+use crate::faults::{
+    DataFaultKind, DataFaultPlanEntry, LinkFault, CATCHUP_BASE_BACKOFF_SECS, DR_EDGE,
+    MAX_CATCHUP_RETRIES, PRIMARY_FEED, REPLICATION_EDGES,
+};
 use crate::state::{ClusterState, FailureKind};
 use crate::topology::{region_latency_ms, Msirp, RouteDecision, SITES};
 
@@ -54,6 +58,9 @@ pub struct ClusterConfig {
     pub end_day: u32,
     /// Scheduled failures/restores.
     pub failure_plan: Vec<FailurePlanEntry>,
+    /// Scheduled data-plane faults: replication-link misbehaviour and
+    /// trigger-monitor crash/restart (see [`crate::faults`]).
+    pub fault_plan: Vec<DataFaultPlanEntry>,
     /// External congestion on US paths: `(first_day, last_day, factor)` —
     /// Figure 22's days 7–9 anomaly was "caused by problems external to
     /// the site".
@@ -69,6 +76,11 @@ pub struct ClusterConfig {
     /// `metrics.json` exports into this directory (typically
     /// `target/experiments/`). `None` disables all file output.
     pub export_dir: Option<PathBuf>,
+    /// After the run, re-render every registry page and compare against
+    /// each site's cache fleet, counting mismatches into
+    /// [`ClusterReport::stale_pages`]. Off by default (it costs one full
+    /// render sweep per site); the convergence property tests turn it on.
+    pub audit_convergence: bool,
 }
 
 impl Default for ClusterConfig {
@@ -81,10 +93,37 @@ impl Default for ClusterConfig {
             start_day: 1,
             end_day: 16,
             failure_plan: Vec::new(),
+            fault_plan: Vec::new(),
             us_congestion: (7, 9, 1.45),
             updates_on_serving_nodes: false,
             export_dir: None,
+            audit_convergence: false,
         }
+    }
+}
+
+/// Time-to-converge bookkeeping for one healed data-plane fault: opened
+/// when the fault heals, closed at the first minute boundary where the
+/// faulted site's replica watermark matches the master log *and* its
+/// trigger monitor has processed up to that watermark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceRecord {
+    /// Human-readable fault description (edge name + fault, or
+    /// `monitor-crash <site>`).
+    pub label: String,
+    /// The site that had to converge.
+    pub site: usize,
+    /// When the fault healed.
+    pub healed_at: SimTime,
+    /// First minute boundary at which the site was fully converged;
+    /// `None` if it never converged before the run ended.
+    pub converged_at: Option<SimTime>,
+}
+
+impl ConvergenceRecord {
+    /// Heal → converged, if convergence was observed.
+    pub fn time_to_converge(&self) -> Option<SimDuration> {
+        self.converged_at.map(|c| c - self.healed_at)
     }
 }
 
@@ -129,6 +168,38 @@ pub struct ClusterReport {
     pub freshness_max: f64,
     /// Transactions applied at sites.
     pub updates_applied: u64,
+    /// Transactions dropped by faulted replication links.
+    pub replication_dropped: u64,
+    /// Deliveries ignored at replicas as duplicates (reordered or re-sent
+    /// messages that already arrived another way).
+    pub replication_duplicates: u64,
+    /// Transactions applied through watermark catch-up pulls (gap repair,
+    /// post-heal resync, disaster-recovery re-feed).
+    pub catch_up_applied: u64,
+    /// Catch-up attempts that failed on a faulted link and were retried
+    /// with exponential backoff.
+    pub retries: u64,
+    /// Trigger-monitor crash/restart recoveries completed.
+    pub recoveries: u64,
+    /// Staleness under failure: master-commit → site-visible latency
+    /// (seconds) for transactions that reached a site via catch-up or
+    /// monitor recovery rather than healthy streaming.
+    pub staleness_hist: Histogram,
+    /// Worst staleness-under-failure in seconds.
+    pub staleness_max: f64,
+    /// One record per healed data-plane fault: when the site reconverged.
+    pub convergence: Vec<ConvergenceRecord>,
+    /// Final per-site replica watermarks (highest master txn id applied).
+    pub site_watermarks: [u64; 4],
+    /// Final per-site trigger-monitor watermarks (highest txn id DUP ran
+    /// over).
+    pub monitor_watermarks: [u64; 4],
+    /// Master transaction log length at the end of the run.
+    pub master_txns: u64,
+    /// Stale cached pages found by the end-of-run audit; `Some(0)` means
+    /// every cached body at every site matched a fresh render. `None`
+    /// unless [`ClusterConfig::audit_convergence`] was set.
+    pub stale_pages: Option<u64>,
     /// The run's telemetry: metric registry plus propagation and serving
     /// trace ring buffers. Export with
     /// [`nagano_telemetry::prometheus_text`] / [`json_snapshot`].
@@ -183,12 +254,56 @@ impl ClusterReport {
 enum SimEvent {
     /// An update reaches the master database.
     MasterUpdate(usize),
-    /// A replicated transaction becomes processable at a site.
-    SiteApply(usize, Arc<Transaction>),
-    /// A failure-plan entry fires.
+    /// A shipped transaction arrives at the receiving end of a
+    /// replication edge (index into [`REPLICATION_EDGES`]).
+    EdgeDeliver(usize, Arc<Transaction>),
+    /// A site attempts a watermark catch-up pull over its current feed.
+    CatchUp(usize),
+    /// A routing-tier failure-plan entry fires.
     Failure(usize),
+    /// A data-plane fault-plan entry fires.
+    DataFault(usize),
     /// Hourly telemetry snapshot (only scheduled when `export_dir` is set).
     TelemetryFlush,
+}
+
+/// Ship one transaction over a replication edge, applying whatever fault
+/// is active on it: schedules an [`SimEvent::EdgeDeliver`], or drops the
+/// shipment (partitioned link, lossy loss). `fault_rng` is only drawn
+/// when a fault is active, so fault-free runs never touch it.
+#[allow(clippy::too_many_arguments)]
+fn ship(
+    queue: &mut EventQueue<SimEvent>,
+    fault_rng: &mut DeterministicRng,
+    edge_fault: &[Option<LinkFault>; 5],
+    dropped: &mut u64,
+    dropped_total: &Counter,
+    edge: usize,
+    at: SimTime,
+    txn: &Arc<Transaction>,
+) {
+    let base = SimDuration::from_secs(REPLICATION_EDGES[edge].base_delay_secs);
+    let deliver_at = match edge_fault[edge] {
+        None => at + base,
+        Some(LinkFault::Partition) => {
+            *dropped += 1;
+            dropped_total.incr();
+            return;
+        }
+        Some(LinkFault::Lossy { drop_permille }) => {
+            if fault_rng.chance(drop_permille as f64 / 1000.0) {
+                *dropped += 1;
+                dropped_total.incr();
+                return;
+            }
+            at + base
+        }
+        Some(LinkFault::Delay { extra_secs }) => at + base + SimDuration::from_secs(extra_secs),
+        Some(LinkFault::Reorder { jitter_secs }) => {
+            at + base + SimDuration::from_secs(fault_rng.index(jitter_secs as usize + 1) as u64)
+        }
+    };
+    queue.schedule(deliver_at, SimEvent::EdgeDeliver(edge, Arc::clone(txn)));
 }
 
 /// Generate a random failure soak plan: `events_per_day` component
@@ -317,6 +432,61 @@ impl ClusterSim {
             telemetry
                 .registry
                 .histogram("nagano_cluster_freshness_seconds", &[], 1e-3, 600.0);
+        let retries_total = telemetry
+            .registry
+            .counter("nagano_cluster_retries_total", &[]);
+        let dropped_total = telemetry
+            .registry
+            .counter("nagano_cluster_replication_dropped_total", &[]);
+        let catch_up_total = telemetry
+            .registry
+            .counter("nagano_cluster_catch_up_txns_total", &[]);
+        let lag_gauges: Vec<_> = SITES
+            .iter()
+            .map(|spec| {
+                telemetry.registry.gauge(
+                    "nagano_cluster_replication_lag_txns",
+                    &[("site", spec.name)],
+                )
+            })
+            .collect();
+        let staleness_hists: Vec<_> = SITES
+            .iter()
+            .map(|spec| {
+                telemetry.registry.histogram(
+                    "nagano_cluster_staleness_seconds",
+                    &[("site", spec.name)],
+                    1e-3,
+                    100_000.0,
+                )
+            })
+            .collect();
+
+        // The Figure-5 replication endpoints, in site order, driven in
+        // pull mode so that the simulated links decide exactly which
+        // transactions arrive (and when): master feeds Schaumburg and
+        // Tokyo; Columbus and Bethesda chain off Schaumburg.
+        let replicas: Vec<Replica> = {
+            let schaumburg = Replica::attach_pull(SITES[0].name, Arc::clone(&db));
+            let columbus = Replica::attach_downstream_pull(SITES[1].name, &schaumburg);
+            let bethesda = Replica::attach_downstream_pull(SITES[2].name, &schaumburg);
+            let tokyo = Replica::attach_pull(SITES[3].name, Arc::clone(&db));
+            vec![schaumburg, columbus, bethesda, tokyo]
+        };
+
+        // Data-plane fault state. The fault RNG (forked below, after the
+        // workload streams) is drawn only while a fault is active, so
+        // fault-free runs are unchanged by its existence.
+        let mut edge_fault: [Option<LinkFault>; 5] = [None; 5];
+        let mut monitor_up = [true; 4];
+        let mut catchup_pending = [false; 4];
+        let mut catchup_attempts = [0u32; 4];
+        let mut gave_up = [false; 4];
+        let mut failed_over = false;
+        // Master commit time per txn id (index id-1), for staleness and
+        // freshness accounting on every delivery path.
+        let mut commit_times: Vec<SimTime> = Vec::new();
+        let mut watches: Vec<ConvergenceRecord> = Vec::new();
 
         let mut cluster = ClusterState::new();
         let msirp = Msirp::nagano();
@@ -350,6 +520,18 @@ impl ClusterSim {
             freshness_hist: Histogram::new(1e-3, 600.0),
             freshness_max: 0.0,
             updates_applied: 0,
+            replication_dropped: 0,
+            replication_duplicates: 0,
+            catch_up_applied: 0,
+            retries: 0,
+            recoveries: 0,
+            staleness_hist: Histogram::new(1e-3, 100_000.0),
+            staleness_max: 0.0,
+            convergence: Vec::new(),
+            site_watermarks: [0; 4],
+            monitor_watermarks: [0; 4],
+            master_txns: 0,
+            stale_pages: None,
             telemetry: Arc::clone(&telemetry),
         };
 
@@ -362,6 +544,9 @@ impl ClusterSim {
         }
         for (i, f) in cfg.failure_plan.iter().enumerate() {
             queue.schedule(f.at, SimEvent::Failure(i));
+        }
+        for (i, f) in cfg.fault_plan.iter().enumerate() {
+            queue.schedule(f.at, SimEvent::DataFault(i));
         }
         if cfg.export_dir.is_some() {
             let start_hour = (cfg.start_day as u64 - 1) * 24;
@@ -381,8 +566,16 @@ impl ClusterSim {
         let end_min = cfg.end_day as u64 * 1440;
         let mut req_rng = rng.fork(2);
         let mut apply_rng = rng.fork(3);
+        // Forked last so the workload streams above match fault-free runs
+        // of earlier revisions draw-for-draw.
+        let mut fault_rng = rng.fork(4);
 
-        for minute in start_min..end_min {
+        // A short settle tail after the last simulated minute drains
+        // replication still in flight at the horizon (commits in the
+        // final minutes whose deliveries land just past it), so that a
+        // run whose faults have all healed always ends converged.
+        const SETTLE_MINUTES: u64 = 10;
+        for minute in start_min..end_min + SETTLE_MINUTES {
             let minute_end = SimTime::from_mins(minute + 1);
             // Drain events due in this minute first.
             while let Some((at, ev)) = queue.pop_before(minute_end) {
@@ -390,73 +583,299 @@ impl ClusterSim {
                     SimEvent::MasterUpdate(i) => {
                         let update = schedule.updates()[i];
                         let txn = UpdateSchedule::apply(&update, &db, &mut apply_rng);
+                        debug_assert_eq!(txn.id.0 as usize, commit_times.len() + 1);
+                        commit_times.push(at);
                         let mut trace = Trace::new(TraceKind::Propagation, txn.id.0);
                         trace.span_with("txn_receipt", txn.label.clone(), at, at);
                         pending_traces.insert(txn.id, (trace, 0));
-                        for (s, spec) in SITES.iter().enumerate() {
-                            queue.schedule(
-                                at + SimDuration::from_secs(spec.replication_delay_secs),
-                                SimEvent::SiteApply(s, Arc::clone(&txn)),
+                        // Ship over the two master-fed edges; the chained
+                        // edges fan out when Schaumburg applies.
+                        for edge in [0, 1] {
+                            ship(
+                                &mut queue,
+                                &mut fault_rng,
+                                &edge_fault,
+                                &mut report.replication_dropped,
+                                &dropped_total,
+                                edge,
+                                at,
+                                &txn,
                             );
                         }
                     }
-                    SimEvent::SiteApply(s, txn) => {
-                        let outcome = monitors[s].process_txn(&txn);
-                        last_apply_minute[s] = at.minute_index() as i64;
-                        report.updates_applied += 1;
-                        applied_total.incr();
-                        let day_idx = at.day().min(cfg.end_day) as usize - 1;
-                        report.regen_per_day[day_idx] += outcome.regenerated.len() as u64;
-                        // Visible-latency model: replication delay (already
-                        // elapsed at `at`) plus regeneration spread over the
-                        // SMP's render workers.
-                        let regen_cost_ms: f64 = outcome
-                            .regenerated
-                            .iter()
-                            .map(|&k| {
-                                monitors[s]
-                                    .fleet()
-                                    .member(0)
-                                    .peek(&k.to_url())
-                                    .map(|_| 1.0)
-                                    .unwrap_or(0.0)
-                            })
-                            .sum::<f64>()
-                            * 150.0
-                            / 8.0;
-                        let commit_at =
-                            at - SimDuration::from_secs(SITES[s].replication_delay_secs);
-                        let applied_at = at + SimDuration::from_secs_f64(regen_cost_ms / 1_000.0);
-                        let visible = applied_at - commit_at;
-                        report.freshness.push(visible.as_secs_f64());
-                        freshness_hist.record(visible.as_secs_f64());
-                        report.freshness_max = report.freshness_max.max(visible.as_secs_f64());
-                        if let Some((trace, applied)) = pending_traces.get_mut(&txn.id) {
-                            let site = SITES[s].name;
-                            trace
-                                .span_with("distribute", format!("site={site}"), commit_at, at)
-                                .span_with(
-                                    "odg_traversal",
-                                    format!("site={site} visited={}", outcome.visited),
-                                    at,
-                                    at,
-                                )
-                                .span_with(
-                                    "cache_apply",
-                                    format!(
-                                        "site={site} regenerated={} invalidated={} tolerated={}",
-                                        outcome.regenerated.len(),
-                                        outcome.invalidated.len(),
-                                        outcome.tolerated.len()
-                                    ),
-                                    at,
-                                    applied_at,
+                    SimEvent::EdgeDeliver(edge, txn) => {
+                        let s = REPLICATION_EDGES[edge].to;
+                        match replicas[s].deliver(&txn) {
+                            DeliverOutcome::Applied => {
+                                report.updates_applied += 1;
+                                applied_total.incr();
+                                let commit_at = commit_times[txn.id.0 as usize - 1];
+                                // While the monitor is down the replica still
+                                // advances its log; DUP runs at recovery.
+                                if monitor_up[s] {
+                                    let outcome = monitors[s].process_txn(&txn);
+                                    last_apply_minute[s] = at.minute_index() as i64;
+                                    let day_idx = at.day().min(cfg.end_day) as usize - 1;
+                                    report.regen_per_day[day_idx] +=
+                                        outcome.regenerated.len() as u64;
+                                    // Visible-latency model: replication delay
+                                    // (already elapsed at `at`) plus
+                                    // regeneration spread over the SMP's
+                                    // render workers.
+                                    let regen_cost_ms: f64 = outcome
+                                        .regenerated
+                                        .iter()
+                                        .map(|&k| {
+                                            monitors[s]
+                                                .fleet()
+                                                .member(0)
+                                                .peek(&k.to_url())
+                                                .map(|_| 1.0)
+                                                .unwrap_or(0.0)
+                                        })
+                                        .sum::<f64>()
+                                        * 150.0
+                                        / 8.0;
+                                    let applied_at =
+                                        at + SimDuration::from_secs_f64(regen_cost_ms / 1_000.0);
+                                    let visible = applied_at - commit_at;
+                                    report.freshness.push(visible.as_secs_f64());
+                                    freshness_hist.record(visible.as_secs_f64());
+                                    report.freshness_max =
+                                        report.freshness_max.max(visible.as_secs_f64());
+                                    if let Some((trace, applied)) = pending_traces.get_mut(&txn.id)
+                                    {
+                                        let site = SITES[s].name;
+                                        trace
+                                            .span_with(
+                                                "distribute",
+                                                format!("site={site}"),
+                                                commit_at,
+                                                at,
+                                            )
+                                            .span_with(
+                                                "odg_traversal",
+                                                format!("site={site} visited={}", outcome.visited),
+                                                at,
+                                                at,
+                                            )
+                                            .span_with(
+                                                "cache_apply",
+                                                format!(
+                                                    "site={site} regenerated={} invalidated={} tolerated={}",
+                                                    outcome.regenerated.len(),
+                                                    outcome.invalidated.len(),
+                                                    outcome.tolerated.len()
+                                                ),
+                                                at,
+                                                applied_at,
+                                            );
+                                        *applied += 1;
+                                        if *applied == SITES.len() {
+                                            let (trace, _) = pending_traces
+                                                .remove(&txn.id)
+                                                .expect("trace present");
+                                            telemetry.propagation.push(trace);
+                                        }
+                                    }
+                                }
+                                // Schaumburg re-publishes to its chained
+                                // sites.
+                                if s == 0 {
+                                    for chained in [2, 3] {
+                                        ship(
+                                            &mut queue,
+                                            &mut fault_rng,
+                                            &edge_fault,
+                                            &mut report.replication_dropped,
+                                            &dropped_total,
+                                            chained,
+                                            at,
+                                            &txn,
+                                        );
+                                    }
+                                }
+                            }
+                            DeliverOutcome::Duplicate => {
+                                report.replication_duplicates += 1;
+                            }
+                            DeliverOutcome::Gap { .. } => {
+                                // A message ahead of the watermark arrived:
+                                // something before it was lost or reordered.
+                                // Pull the gap shortly (one pull covers any
+                                // number of gap signals).
+                                if !catchup_pending[s] && !gave_up[s] {
+                                    catchup_pending[s] = true;
+                                    queue.schedule(
+                                        at + SimDuration::from_secs(1),
+                                        SimEvent::CatchUp(s),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    SimEvent::CatchUp(s) => {
+                        catchup_pending[s] = false;
+                        let mut edge = if s == 0 && failed_over {
+                            DR_EDGE
+                        } else {
+                            PRIMARY_FEED[s]
+                        };
+                        // A partitioned primary Schaumburg feed triggers the
+                        // paper's disaster-recovery path: re-feed from
+                        // Tokyo's re-published log.
+                        if s == 0
+                            && !failed_over
+                            && matches!(edge_fault[edge], Some(LinkFault::Partition))
+                            && !matches!(edge_fault[DR_EDGE], Some(LinkFault::Partition))
+                        {
+                            replicas[0].fail_over(&replicas[3]);
+                            failed_over = true;
+                            edge = DR_EDGE;
+                        }
+                        let fault = edge_fault[edge];
+                        let attempt_fails = match fault {
+                            Some(LinkFault::Partition) => true,
+                            Some(LinkFault::Lossy { drop_permille }) => {
+                                fault_rng.chance(drop_permille as f64 / 1000.0)
+                            }
+                            _ => false,
+                        };
+                        if attempt_fails {
+                            report.retries += 1;
+                            retries_total.incr();
+                            catchup_attempts[s] += 1;
+                            if catchup_attempts[s] <= MAX_CATCHUP_RETRIES {
+                                let backoff =
+                                    CATCHUP_BASE_BACKOFF_SECS << (catchup_attempts[s] - 1).min(6);
+                                catchup_pending[s] = true;
+                                queue.schedule(
+                                    at + SimDuration::from_secs(backoff),
+                                    SimEvent::CatchUp(s),
                                 );
-                            *applied += 1;
-                            if *applied == SITES.len() {
-                                let (trace, _) =
-                                    pending_traces.remove(&txn.id).expect("trace present");
-                                telemetry.propagation.push(trace);
+                            } else {
+                                // Quiesce until the link heals; the heal
+                                // entry reschedules the pull.
+                                gave_up[s] = true;
+                            }
+                        } else {
+                            catchup_attempts[s] = 0;
+                            gave_up[s] = false;
+                            // The pull pays the edge's base transfer delay
+                            // (plus any injected extra latency) — catching
+                            // up is replication, not teleportation.
+                            let mut pull_secs = REPLICATION_EDGES[edge].base_delay_secs;
+                            if let Some(LinkFault::Delay { extra_secs }) = fault {
+                                pull_secs += extra_secs;
+                            }
+                            let applied_at = at + SimDuration::from_secs(pull_secs);
+                            let missed = replicas[s].catch_up();
+                            if !missed.is_empty() {
+                                for txn in &missed {
+                                    report.updates_applied += 1;
+                                    applied_total.incr();
+                                    report.catch_up_applied += 1;
+                                    catch_up_total.incr();
+                                    let staleness = (applied_at
+                                        - commit_times[txn.id.0 as usize - 1])
+                                        .as_secs_f64();
+                                    report.staleness_hist.record(staleness);
+                                    staleness_hists[s].record(staleness);
+                                    report.staleness_max = report.staleness_max.max(staleness);
+                                }
+                                if monitor_up[s] {
+                                    // One DUP propagation over the union of
+                                    // the pulled transactions.
+                                    let outcome = monitors[s].process_batch(&missed);
+                                    last_apply_minute[s] = applied_at.minute_index() as i64;
+                                    let day_idx = applied_at.day().min(cfg.end_day) as usize - 1;
+                                    report.regen_per_day[day_idx] +=
+                                        outcome.regenerated.len() as u64;
+                                }
+                                if s == 0 {
+                                    for txn in &missed {
+                                        for chained in [2, 3] {
+                                            ship(
+                                                &mut queue,
+                                                &mut fault_rng,
+                                                &edge_fault,
+                                                &mut report.replication_dropped,
+                                                &dropped_total,
+                                                chained,
+                                                applied_at,
+                                                txn,
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    SimEvent::DataFault(i) => {
+                        let entry = cfg.fault_plan[i];
+                        match entry.kind {
+                            DataFaultKind::Link { edge, fault } => {
+                                if !entry.up {
+                                    edge_fault[edge] = Some(fault);
+                                } else {
+                                    edge_fault[edge] = None;
+                                    if edge == 0 && failed_over {
+                                        replicas[0].restore_primary();
+                                        failed_over = false;
+                                    }
+                                    let s = REPLICATION_EDGES[edge].to;
+                                    gave_up[s] = false;
+                                    catchup_attempts[s] = 0;
+                                    if !catchup_pending[s] {
+                                        catchup_pending[s] = true;
+                                        queue.schedule(
+                                            at + SimDuration::from_secs(1),
+                                            SimEvent::CatchUp(s),
+                                        );
+                                    }
+                                    watches.push(ConvergenceRecord {
+                                        label: format!(
+                                            "{} {:?}",
+                                            REPLICATION_EDGES[edge].name, fault
+                                        ),
+                                        site: s,
+                                        healed_at: at,
+                                        converged_at: None,
+                                    });
+                                }
+                            }
+                            DataFaultKind::MonitorCrash { site } => {
+                                if !entry.up {
+                                    monitor_up[site] = false;
+                                } else {
+                                    monitor_up[site] = true;
+                                    // Restart: resume from the monitor's
+                                    // processed watermark — replay the local
+                                    // log tail through DUP so no stale page
+                                    // survives recovery.
+                                    let missed = replicas[site]
+                                        .local_log()
+                                        .since(TxnId(monitors[site].watermark()));
+                                    let outcome = monitors[site].recover(&missed);
+                                    report.recoveries += 1;
+                                    last_apply_minute[site] = at.minute_index() as i64;
+                                    let day_idx = at.day().min(cfg.end_day) as usize - 1;
+                                    report.regen_per_day[day_idx] +=
+                                        outcome.regenerated.len() as u64;
+                                    for txn in &missed {
+                                        let staleness = (at - commit_times[txn.id.0 as usize - 1])
+                                            .as_secs_f64();
+                                        report.staleness_hist.record(staleness);
+                                        staleness_hists[site].record(staleness);
+                                        report.staleness_max = report.staleness_max.max(staleness);
+                                    }
+                                    watches.push(ConvergenceRecord {
+                                        label: format!("monitor-crash {}", SITES[site].name),
+                                        site,
+                                        healed_at: at,
+                                        converged_at: None,
+                                    });
+                                }
                             }
                         }
                     }
@@ -472,6 +891,40 @@ impl ClusterSim {
                         ));
                     }
                 }
+            }
+
+            // Data-plane heartbeat: refresh lag gauges, schedule catch-up
+            // pulls across faulted feeds (and across the DR re-feed while
+            // failed over — it is pull-only, nothing streams on it), and
+            // close convergence watches.
+            for s in 0..SITES.len() {
+                lag_gauges[s].set(replicas[s].lag());
+                let feed_edge = if s == 0 && failed_over {
+                    DR_EDGE
+                } else {
+                    PRIMARY_FEED[s]
+                };
+                let behind = replicas[s].feed_len() > replicas[s].applied().0;
+                let pull_needed = (s == 0 && failed_over) || edge_fault[feed_edge].is_some();
+                if behind && pull_needed && !catchup_pending[s] && !gave_up[s] {
+                    catchup_pending[s] = true;
+                    queue.schedule(minute_end, SimEvent::CatchUp(s));
+                }
+            }
+            if !watches.is_empty() {
+                let master_len = db.log().len() as u64;
+                for w in watches.iter_mut().filter(|w| w.converged_at.is_none()) {
+                    let applied = replicas[w.site].applied().0;
+                    if monitor_up[w.site]
+                        && applied == master_len
+                        && monitors[w.site].watermark() == applied
+                    {
+                        w.converged_at = Some(minute_end);
+                    }
+                }
+            }
+            if minute >= end_min {
+                continue; // settle tail: no client traffic past the horizon
             }
 
             // Generate this minute's client requests.
@@ -606,6 +1059,32 @@ impl ClusterSim {
         }
         report.cache = agg;
         report.freshness_hist = freshness_hist.snapshot();
+        report.master_txns = db.log().len() as u64;
+        for s in 0..SITES.len() {
+            report.site_watermarks[s] = replicas[s].applied().0;
+            report.monitor_watermarks[s] = monitors[s].watermark();
+        }
+        report.convergence = watches;
+
+        if cfg.audit_convergence {
+            // Prove cache convergence the hard way: re-render every
+            // registry page and compare bodies against each site's cache.
+            // An absent entry is safe (invalidate policy, eviction, cold);
+            // a *mismatching* body is a stale page.
+            let renderer = Renderer::new(Arc::clone(&db));
+            let mut stale = 0u64;
+            for (key, _) in registry.pages() {
+                let fresh = renderer.render(*key);
+                for m in &monitors {
+                    if let Some(cached) = m.fleet().member(0).peek(&key.to_url()) {
+                        if cached.body != fresh.body {
+                            stale += 1;
+                        }
+                    }
+                }
+            }
+            report.stale_pages = Some(stale);
+        }
 
         if let Some(dir) = &cfg.export_dir {
             // Export failures (read-only fs, missing parents) must not
@@ -639,6 +1118,17 @@ mod tests {
             start_day: 2,
             end_day: 3,
             ..Default::default()
+        }
+    }
+
+    /// Like [`quick_config`] but over days 10–11, where the small Games
+    /// schedule is update-dense (≈10 master txns/day) — fault windows on
+    /// day 10 morning are guaranteed to intersect real update traffic.
+    fn fault_config() -> ClusterConfig {
+        ClusterConfig {
+            start_day: 10,
+            end_day: 11,
+            ..quick_config()
         }
     }
 
@@ -863,6 +1353,168 @@ mod tests {
             a.telemetry.serving.slowest(3),
             b.telemetry.serving.slowest(3)
         );
+    }
+
+    #[test]
+    fn partition_heals_and_replicas_converge() {
+        let mut cfg = fault_config();
+        cfg.audit_convergence = true;
+        // Partition the Schaumburg → Bethesda edge for six hours on day 2.
+        let kind = DataFaultKind::Link {
+            edge: 3,
+            fault: LinkFault::Partition,
+        };
+        cfg.fault_plan = vec![
+            DataFaultPlanEntry {
+                at: SimTime::at(10, 8, 0),
+                kind,
+                up: false,
+            },
+            DataFaultPlanEntry {
+                at: SimTime::at(10, 12, 0),
+                kind,
+                up: true,
+            },
+        ];
+        let report = ClusterSim::new(cfg).run();
+        assert!(report.replication_dropped > 0, "partition dropped nothing");
+        assert!(report.retries > 0, "no catch-up attempt hit the partition");
+        assert!(report.catch_up_applied > 0, "nothing recovered via pull");
+        assert!(report.staleness_hist.count() > 0);
+        // Provable convergence: every replica and monitor ends at the
+        // master watermark and no cached body is stale.
+        assert_eq!(report.site_watermarks, [report.master_txns; 4]);
+        assert_eq!(report.monitor_watermarks, [report.master_txns; 4]);
+        assert_eq!(report.stale_pages, Some(0));
+        let rec = report
+            .convergence
+            .iter()
+            .find(|c| c.site == 2)
+            .expect("a convergence record for Bethesda");
+        let ttc = rec.time_to_converge().expect("Bethesda reconverged");
+        assert!(
+            ttc <= SimDuration::from_mins(10),
+            "took {}s to converge",
+            ttc.as_secs_f64()
+        );
+        // Routing never noticed: the data plane degraded, not serving.
+        assert_eq!(report.failed_requests, 0);
+        // The telemetry counters mirror the report.
+        let text = prometheus_text(&report.telemetry.registry);
+        assert!(text.contains(&format!("nagano_cluster_retries_total {}", report.retries)));
+        assert!(text.contains(&format!(
+            "nagano_cluster_replication_dropped_total {}",
+            report.replication_dropped
+        )));
+    }
+
+    #[test]
+    fn monitor_crash_recovery_leaves_no_stale_page() {
+        let mut cfg = fault_config();
+        cfg.audit_convergence = true;
+        let kind = DataFaultKind::MonitorCrash { site: 3 };
+        cfg.fault_plan = vec![
+            DataFaultPlanEntry {
+                at: SimTime::at(10, 8, 0),
+                kind,
+                up: false,
+            },
+            DataFaultPlanEntry {
+                at: SimTime::at(10, 12, 0),
+                kind,
+                up: true,
+            },
+        ];
+        let report = ClusterSim::new(cfg).run();
+        assert_eq!(report.recoveries, 1);
+        assert!(
+            report.staleness_hist.count() > 0,
+            "recovery replayed no missed txns"
+        );
+        // The restarted monitor re-ran DUP over the missed tail: nothing
+        // stale survives, and its watermark matches the replica's.
+        assert_eq!(report.stale_pages, Some(0));
+        assert_eq!(report.monitor_watermarks, [report.master_txns; 4]);
+        let rec = report
+            .convergence
+            .iter()
+            .find(|c| c.site == 3)
+            .expect("a convergence record for Tokyo");
+        assert!(rec.converged_at.is_some());
+        let text = prometheus_text(&report.telemetry.registry);
+        assert!(text.contains("nagano_trigger_recoveries_total{site=\"Tokyo\"} 1"));
+    }
+
+    #[test]
+    fn partitioned_primary_feed_fails_over_to_the_tokyo_refeed() {
+        let mut cfg = fault_config();
+        cfg.audit_convergence = true;
+        let kind = DataFaultKind::Link {
+            edge: 0,
+            fault: LinkFault::Partition,
+        };
+        cfg.fault_plan = vec![
+            DataFaultPlanEntry {
+                at: SimTime::at(10, 8, 0),
+                kind,
+                up: false,
+            },
+            DataFaultPlanEntry {
+                at: SimTime::at(10, 12, 0),
+                kind,
+                up: true,
+            },
+        ];
+        let report = ClusterSim::new(cfg).run();
+        // Schaumburg kept advancing through the partition by pulling the
+        // Tokyo re-feed, so staleness stayed bounded by the pull cadence —
+        // minutes, not the six-hour partition.
+        assert!(report.catch_up_applied > 0);
+        assert!(report.staleness_hist.count() > 0);
+        assert!(
+            report.staleness_max < 300.0,
+            "staleness {}s suggests the DR re-feed never engaged",
+            report.staleness_max
+        );
+        assert_eq!(report.site_watermarks, [report.master_txns; 4]);
+        assert_eq!(report.stale_pages, Some(0));
+        assert_eq!(report.failed_requests, 0);
+    }
+
+    #[test]
+    fn lossy_link_converges_and_fault_runs_stay_deterministic() {
+        let mut cfg = fault_config();
+        let kind = DataFaultKind::Link {
+            edge: 1,
+            fault: LinkFault::Lossy { drop_permille: 500 },
+        };
+        cfg.fault_plan = vec![
+            DataFaultPlanEntry {
+                at: SimTime::at(10, 8, 0),
+                kind,
+                up: false,
+            },
+            DataFaultPlanEntry {
+                at: SimTime::at(10, 12, 0),
+                kind,
+                up: true,
+            },
+        ];
+        let a = ClusterSim::new(cfg.clone()).run();
+        let b = ClusterSim::new(cfg).run();
+        assert!(
+            a.replication_dropped > 0,
+            "a 50% lossy link dropped nothing"
+        );
+        assert!(a.catch_up_applied > 0, "gaps were never repaired");
+        assert_eq!(a.site_watermarks, [a.master_txns; 4]);
+        // Identical seed ⇒ identical faults, drops, retries, and repairs.
+        assert_eq!(a.replication_dropped, b.replication_dropped);
+        assert_eq!(a.replication_duplicates, b.replication_duplicates);
+        assert_eq!(a.catch_up_applied, b.catch_up_applied);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.total_requests, b.total_requests);
+        assert_eq!(a.staleness_hist.count(), b.staleness_hist.count());
     }
 
     #[test]

@@ -28,10 +28,10 @@ pub mod table;
 pub mod txn;
 
 pub use database::OlympicDb;
-pub use replication::Replica;
+pub use replication::{DeliverOutcome, Replica};
 pub use schema::{
     Athlete, AthleteId, Country, CountryId, Event, EventId, EventPhase, MedalCount, NewsArticle,
     NewsId, Photo, PhotoId, ResultId, ResultRow, Sport, SportId,
 };
 pub use seed::{seed_games, GamesConfig};
-pub use txn::{ChangeOp, RecordChange, Transaction, TxnId};
+pub use txn::{ChangeOp, RecordChange, Transaction, TxnId, TxnLog, SUBSCRIBER_CAPACITY};

@@ -12,6 +12,23 @@
 //! transaction stream, ordering, applied watermark, and chained fan-out —
 //! is fully replicated per site. This preserves every behaviour DUP and
 //! the freshness experiments depend on without re-serialising row images.
+//!
+//! # Failure model
+//!
+//! Replication links can drop, delay, reorder, or partition (see
+//! `nagano-cluster`'s fault plan). The replica end is built so that *any*
+//! such fault is recoverable from the applied watermark alone:
+//!
+//! * [`Replica::deliver`] applies a pushed transaction only when it is
+//!   the next in sequence; anything already applied is a [`DeliverOutcome::Duplicate`]
+//!   and anything further ahead is a [`DeliverOutcome::Gap`] — the replica
+//!   never applies out of order, so its local log stays id-aligned with
+//!   the master's.
+//! * [`Replica::catch_up`] closes a gap by pulling [`TxnLog::since`] the
+//!   watermark from the current upstream feed.
+//! * [`Replica::fail_over`] switches the feed to a peer's re-published
+//!   log (the Tokyo → Schaumburg re-feed edge) when the primary feed is
+//!   partitioned; [`Replica::restore_primary`] switches back after heal.
 
 use std::sync::Arc;
 
@@ -21,39 +38,101 @@ use parking_lot::Mutex;
 use crate::database::OlympicDb;
 use crate::txn::{Transaction, TxnId, TxnLog};
 
+/// Where a replica pulls missed transactions from.
+#[derive(Debug, Clone)]
+enum Feed {
+    /// Directly from the master database's log.
+    Master,
+    /// From a peer replica's re-published log (chained sites, or the
+    /// disaster-recovery re-feed).
+    Peer(Arc<TxnLog>),
+}
+
+/// Result of pushing one transaction at a replica ([`Replica::deliver`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliverOutcome {
+    /// Next in sequence; applied and re-published on the local log.
+    Applied,
+    /// At or below the applied watermark (a reordered or re-sent message
+    /// that already arrived another way); ignored.
+    Duplicate,
+    /// Ahead of the next expected id — an earlier message was lost. The
+    /// replica stays at its watermark; the caller should schedule a
+    /// [`Replica::catch_up`].
+    Gap {
+        /// The id the replica needed instead (`applied + 1`).
+        expected: TxnId,
+    },
+}
+
 /// A replication endpoint at one serving site.
 #[derive(Debug)]
 pub struct Replica {
     name: String,
     master: Arc<OlympicDb>,
     /// Locally re-published log; downstream replicas chain off this.
-    log: TxnLog,
+    log: Arc<TxnLog>,
     applied: Mutex<TxnId>,
-    incoming: Receiver<Arc<Transaction>>,
+    /// Streaming subscription (push path); `None` for pull-only replicas
+    /// driven entirely by [`Replica::deliver`]/[`Replica::catch_up`].
+    incoming: Option<Receiver<Arc<Transaction>>>,
+    /// The configured upstream.
+    primary: Feed,
+    /// The feed currently in use (differs from `primary` after
+    /// [`Replica::fail_over`]).
+    current: Mutex<Feed>,
 }
 
 impl Replica {
     /// Attach directly to the master database's log.
     pub fn attach(name: impl Into<String>, master: Arc<OlympicDb>) -> Self {
         let incoming = master.subscribe();
-        Replica {
-            name: name.into(),
-            master,
-            log: TxnLog::new(),
-            applied: Mutex::new(TxnId(0)),
-            incoming,
-        }
+        Self::build(name, master, Some(incoming), Feed::Master)
     }
 
     /// Attach downstream of another replica (e.g. Columbus off Schaumburg).
     pub fn attach_downstream(name: impl Into<String>, upstream: &Replica) -> Self {
         let incoming = upstream.log.subscribe();
+        Self::build(
+            name,
+            Arc::clone(&upstream.master),
+            Some(incoming),
+            Feed::Peer(Arc::clone(&upstream.log)),
+        )
+    }
+
+    /// Attach to the master in pull mode: no streaming subscription; the
+    /// caller pushes with [`Replica::deliver`] and recovers with
+    /// [`Replica::catch_up`]. This is what the cluster simulation uses so
+    /// that link faults control exactly which transactions arrive.
+    pub fn attach_pull(name: impl Into<String>, master: Arc<OlympicDb>) -> Self {
+        Self::build(name, master, None, Feed::Master)
+    }
+
+    /// Pull-mode equivalent of [`Replica::attach_downstream`].
+    pub fn attach_downstream_pull(name: impl Into<String>, upstream: &Replica) -> Self {
+        Self::build(
+            name,
+            Arc::clone(&upstream.master),
+            None,
+            Feed::Peer(Arc::clone(&upstream.log)),
+        )
+    }
+
+    fn build(
+        name: impl Into<String>,
+        master: Arc<OlympicDb>,
+        incoming: Option<Receiver<Arc<Transaction>>>,
+        primary: Feed,
+    ) -> Self {
         Replica {
             name: name.into(),
-            master: Arc::clone(&upstream.master),
-            log: TxnLog::new(),
+            master,
+            log: Arc::new(TxnLog::new()),
             applied: Mutex::new(TxnId(0)),
             incoming,
+            current: Mutex::new(primary.clone()),
+            primary,
         }
     }
 
@@ -70,22 +149,20 @@ impl Replica {
     /// Apply every transaction currently queued; returns how many were
     /// applied. Applied transactions are re-published on this replica's
     /// own log for chained downstream replicas and the local trigger
-    /// monitor.
+    /// monitor. Pull-mode replicas have no queue and always return 0.
     pub fn pump(&self) -> usize {
-        let mut n = 0;
-        while let Ok(txn) = self.incoming.try_recv() {
-            self.apply(&txn);
-            n += 1;
-        }
-        n
+        self.pump_n(usize::MAX)
     }
 
     /// Apply at most `limit` queued transactions (lets tests and the
     /// simulation model partial replication progress).
     pub fn pump_n(&self, limit: usize) -> usize {
+        let Some(incoming) = &self.incoming else {
+            return 0;
+        };
         let mut n = 0;
         while n < limit {
-            match self.incoming.try_recv() {
+            match incoming.try_recv() {
                 Ok(txn) => {
                     self.apply(&txn);
                     n += 1;
@@ -94,6 +171,61 @@ impl Replica {
             }
         }
         n
+    }
+
+    /// Push one transaction at this replica (the simulated link delivers
+    /// it). Applies only the next-in-sequence id; see [`DeliverOutcome`].
+    pub fn deliver(&self, txn: &Arc<Transaction>) -> DeliverOutcome {
+        let applied = *self.applied.lock();
+        if txn.id.0 <= applied.0 {
+            return DeliverOutcome::Duplicate;
+        }
+        let expected = TxnId(applied.0 + 1);
+        if txn.id != expected {
+            return DeliverOutcome::Gap { expected };
+        }
+        self.apply(txn);
+        DeliverOutcome::Applied
+    }
+
+    /// Close the gap between the applied watermark and the current
+    /// upstream feed: pull everything [`TxnLog::since`] the watermark and
+    /// apply it in order. Returns the transactions applied (the caller
+    /// re-runs DUP over them and forwards them downstream).
+    pub fn catch_up(&self) -> Vec<Arc<Transaction>> {
+        let missed = {
+            let feed = self.current.lock();
+            match &*feed {
+                Feed::Master => self.master.log().since(*self.applied.lock()),
+                Feed::Peer(log) => log.since(*self.applied.lock()),
+            }
+        };
+        for txn in &missed {
+            self.apply(txn);
+        }
+        missed
+    }
+
+    /// Number of transactions visible at the current upstream feed (what
+    /// this replica *could* know about right now).
+    pub fn feed_len(&self) -> u64 {
+        let feed = self.current.lock();
+        match &*feed {
+            Feed::Master => self.master.log().len() as u64,
+            Feed::Peer(log) => log.len() as u64,
+        }
+    }
+
+    /// Switch the upstream feed to `peer`'s re-published log — the
+    /// Figure-5 disaster-recovery path (Tokyo re-feeding Schaumburg when
+    /// the Nagano → Schaumburg link is partitioned).
+    pub fn fail_over(&self, peer: &Replica) {
+        *self.current.lock() = Feed::Peer(Arc::clone(&peer.log));
+    }
+
+    /// Return to the configured primary feed (after the partition heals).
+    pub fn restore_primary(&self) {
+        *self.current.lock() = self.primary.clone();
     }
 
     fn apply(&self, txn: &Arc<Transaction>) {
@@ -211,5 +343,93 @@ mod tests {
         site.pump();
         let txn = trigger_rx.try_recv().unwrap();
         assert!(txn.changes.iter().any(|c| c.data_key == "data:event:1"));
+    }
+
+    #[test]
+    fn deliver_applies_in_sequence_and_flags_gaps_and_duplicates() {
+        let m = master();
+        let site = Replica::attach_pull("schaumburg", Arc::clone(&m));
+        for _ in 0..3 {
+            m.record_results(EventId(1), &[(AthleteId(1), 1.0)], false, 2);
+        }
+        let log = m.log();
+        let t1 = log.get(TxnId(1)).expect("txn 1");
+        let t2 = log.get(TxnId(2)).expect("txn 2");
+        let t3 = log.get(TxnId(3)).expect("txn 3");
+        assert_eq!(site.deliver(&t1), DeliverOutcome::Applied);
+        // Lost t2, t3 arrives first: gap, watermark unmoved.
+        assert_eq!(
+            site.deliver(&t3),
+            DeliverOutcome::Gap { expected: TxnId(2) }
+        );
+        assert_eq!(site.applied(), TxnId(1));
+        // t2 arrives late (reordered): applied, then t3 again: applied.
+        assert_eq!(site.deliver(&t2), DeliverOutcome::Applied);
+        assert_eq!(site.deliver(&t3), DeliverOutcome::Applied);
+        // A re-sent old message is a duplicate.
+        assert_eq!(site.deliver(&t1), DeliverOutcome::Duplicate);
+        assert_eq!(site.applied(), TxnId(3));
+        assert_eq!(site.local_log().len(), 3);
+    }
+
+    #[test]
+    fn catch_up_closes_the_gap_from_the_watermark() {
+        let m = master();
+        let site = Replica::attach_pull("tokyo", Arc::clone(&m));
+        for _ in 0..4 {
+            m.record_results(EventId(1), &[(AthleteId(1), 1.0)], false, 2);
+        }
+        let t1 = m.log().get(TxnId(1)).expect("txn 1");
+        site.deliver(&t1);
+        let missed = site.catch_up();
+        assert_eq!(missed.len(), 3);
+        assert_eq!(missed[0].id, TxnId(2));
+        assert_eq!(site.applied(), TxnId(4));
+        assert_eq!(site.lag(), 0);
+        // Local log ids stay aligned with master ids.
+        assert_eq!(site.local_log().len(), 4);
+        assert!(site.catch_up().is_empty(), "idempotent when caught up");
+    }
+
+    #[test]
+    fn fail_over_pulls_from_the_peer_and_restore_returns_to_primary() {
+        let m = master();
+        let tokyo = Replica::attach_pull("tokyo", Arc::clone(&m));
+        let schaumburg = Replica::attach_pull("schaumburg", Arc::clone(&m));
+        for _ in 0..3 {
+            m.record_results(EventId(1), &[(AthleteId(1), 1.0)], false, 2);
+        }
+        // Tokyo is healthy and fully applied; Schaumburg's primary feed
+        // is partitioned (simulated by simply not delivering anything).
+        tokyo.catch_up();
+        assert_eq!(tokyo.applied(), TxnId(3));
+        // DR re-feed: Schaumburg pulls Tokyo's re-published log.
+        schaumburg.fail_over(&tokyo);
+        assert_eq!(schaumburg.feed_len(), 3);
+        let missed = schaumburg.catch_up();
+        assert_eq!(missed.len(), 3);
+        assert_eq!(schaumburg.applied(), TxnId(3));
+        // After heal, back to the master feed; new commits flow again.
+        schaumburg.restore_primary();
+        m.record_results(EventId(1), &[(AthleteId(1), 2.0)], true, 2);
+        assert_eq!(schaumburg.feed_len(), 4);
+        assert_eq!(schaumburg.catch_up().len(), 1);
+        assert_eq!(schaumburg.applied(), TxnId(4));
+    }
+
+    #[test]
+    fn chained_pull_replicas_catch_up_through_the_chain() {
+        let m = master();
+        let schaumburg = Replica::attach_pull("schaumburg", Arc::clone(&m));
+        let columbus = Replica::attach_downstream_pull("columbus", &schaumburg);
+        for _ in 0..2 {
+            m.record_results(EventId(1), &[(AthleteId(1), 1.0)], false, 2);
+        }
+        // Columbus's feed is Schaumburg's log: empty until Schaumburg applies.
+        assert!(columbus.catch_up().is_empty());
+        assert_eq!(schaumburg.catch_up().len(), 2);
+        let missed = columbus.catch_up();
+        assert_eq!(missed.len(), 2);
+        assert_eq!(columbus.applied(), TxnId(2));
     }
 }

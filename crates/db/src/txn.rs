@@ -7,8 +7,15 @@
 
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
+
+/// Default bound on a subscriber's pending-transaction queue. A consumer
+/// that falls further behind than this is **disconnected** rather than
+/// buffered without limit (lint rule R002): it must notice the gap
+/// between its applied watermark and the log and catch up with
+/// [`TxnLog::since`] — the same recovery path a rejoining replica uses.
+pub const SUBSCRIBER_CAPACITY: usize = 1024;
 
 /// Monotonic transaction identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -85,7 +92,9 @@ impl TxnLog {
     }
 
     /// Append a transaction, assigning its id. Subscribers are notified;
-    /// disconnected subscribers are pruned.
+    /// disconnected subscribers — and subscribers whose bounded queue is
+    /// full (they fell [`SUBSCRIBER_CAPACITY`] behind) — are pruned. A
+    /// pruned consumer recovers by pulling [`TxnLog::since`] its watermark.
     pub fn append(&self, changes: Vec<RecordChange>, label: String, day: u32) -> Arc<Transaction> {
         let mut inner = self.inner.lock();
         let id = TxnId(inner.entries.len() as u64 + 1);
@@ -98,13 +107,20 @@ impl TxnLog {
         inner.entries.push(Arc::clone(&txn));
         inner
             .subscribers
-            .retain(|s| s.send(Arc::clone(&txn)).is_ok());
+            .retain(|s| s.try_send(Arc::clone(&txn)).is_ok());
         txn
     }
 
-    /// Subscribe to future transactions (and nothing retroactive).
+    /// Subscribe to future transactions (and nothing retroactive), with
+    /// the default [`SUBSCRIBER_CAPACITY`] queue bound.
     pub fn subscribe(&self) -> Receiver<Arc<Transaction>> {
-        let (tx, rx) = unbounded();
+        self.subscribe_with_capacity(SUBSCRIBER_CAPACITY)
+    }
+
+    /// Subscribe with an explicit queue bound. Falling more than
+    /// `capacity` transactions behind disconnects the subscription.
+    pub fn subscribe_with_capacity(&self, capacity: usize) -> Receiver<Arc<Transaction>> {
+        let (tx, rx) = bounded(capacity.max(1));
         self.inner.lock().subscribers.push(tx);
         rx
     }
@@ -194,6 +210,28 @@ mod tests {
         let rx2 = log.subscribe();
         log.append(vec![], "y".into(), 1);
         assert_eq!(rx2.try_recv().unwrap().label, "y");
+    }
+
+    #[test]
+    fn overflowing_subscriber_is_disconnected_and_catches_up_via_since() {
+        let log = TxnLog::new();
+        let rx = log.subscribe_with_capacity(2);
+        for i in 0..5 {
+            log.append(vec![], format!("t{i}"), 1);
+        }
+        // The first two fit the queue; the third overflowed and pruned
+        // the subscriber (bounded back-pressure, rule R002).
+        let mut streamed = Vec::new();
+        while let Ok(txn) = rx.try_recv() {
+            streamed.push(txn.id);
+        }
+        assert_eq!(streamed, vec![TxnId(1), TxnId(2)]);
+        // Recovery path: pull the gap from the log by watermark.
+        let watermark = *streamed.last().unwrap();
+        let missed = log.since(watermark);
+        assert_eq!(missed.len(), 3);
+        assert_eq!(missed[0].id, TxnId(3));
+        assert_eq!(missed[2].id, TxnId(5));
     }
 
     #[test]

@@ -154,6 +154,9 @@ pub struct Response {
     /// Entity tag, if the resource has a validator (cached pages use
     /// their cache version).
     pub etag: Option<String>,
+    /// `Retry-After` header in seconds (load-shedding 503s tell the
+    /// client when to come back).
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -164,6 +167,7 @@ impl Response {
             content_type: "text/html; charset=utf-8",
             body,
             etag: None,
+            retry_after: None,
         }
     }
 
@@ -180,6 +184,7 @@ impl Response {
             content_type: "text/html; charset=utf-8",
             body: Bytes::new(),
             etag: Some(etag.into()),
+            retry_after: None,
         }
     }
 
@@ -190,12 +195,22 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: Bytes::copy_from_slice(body.as_bytes()),
             etag: None,
+            retry_after: None,
         }
     }
 
     /// 404 page.
     pub fn not_found() -> Self {
         Response::text(Status::NotFound, "not found\n")
+    }
+
+    /// 503 shed response telling the client to retry after
+    /// `retry_after_secs` seconds (the paper's elegant-degradation tier
+    /// zero: refuse one request rather than melt a node).
+    pub fn overloaded(retry_after_secs: u32) -> Self {
+        let mut resp = Response::text(Status::ServiceUnavailable, "server overloaded; retry\n");
+        resp.retry_after = Some(retry_after_secs);
+        resp
     }
 
     /// Serialise to `w`, honouring keep-alive.
@@ -211,6 +226,9 @@ impl Response {
         )?;
         if let Some(etag) = &self.etag {
             write!(w, "ETag: {etag}\r\n")?;
+        }
+        if let Some(secs) = self.retry_after {
+            write!(w, "Retry-After: {secs}\r\n")?;
         }
         write!(w, "\r\n")?;
         w.write_all(&self.body)?;
@@ -340,6 +358,21 @@ mod tests {
         assert_eq!(r.if_none_match.as_deref(), Some("\"v3\""));
         let r = parse("GET /m HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(r.if_none_match, None);
+    }
+
+    #[test]
+    fn overloaded_response_carries_retry_after() {
+        let resp = Response::overloaded(2);
+        assert_eq!(resp.status, Status::ServiceUnavailable);
+        assert_eq!(resp.retry_after, Some(2));
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf, false).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("Connection: close"));
+        let (code, _) = read_response(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(code, 503);
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub struct HttpdMetrics {
     class_3xx: Counter,
     class_4xx: Counter,
     class_5xx: Counter,
+    shed: Counter,
 }
 
 impl HttpdMetrics {
@@ -58,6 +59,16 @@ impl HttpdMetrics {
         self.class_4xx.get() + self.class_5xx.get()
     }
 
+    /// Record one connection shed at the accept loop (503 + Retry-After).
+    pub fn observe_shed(&self) {
+        self.shed.incr();
+    }
+
+    /// Connections shed so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.get()
+    }
+
     /// Adapt these metrics to the server's per-request callback, for
     /// `Server::bind_with_observer`.
     pub fn observer(self: &Arc<Self>) -> RequestObserver {
@@ -75,6 +86,7 @@ impl HttpdMetrics {
             labels,
             &self.response_bytes,
         );
+        registry.bind_counter("nagano_httpd_shed_total", labels, &self.shed);
         for (class, cell) in [
             ("2xx", &self.class_2xx),
             ("3xx", &self.class_3xx),
@@ -113,8 +125,10 @@ mod tests {
         m.bind(&reg, &[("site", "columbus")]);
         m.observe(200, 512);
         m.observe(404, 16);
+        m.observe_shed();
         let text = prometheus_text(&reg);
         assert!(text.contains("nagano_httpd_requests_total{site=\"columbus\"} 2"));
+        assert!(text.contains("nagano_httpd_shed_total{site=\"columbus\"} 1"));
         assert!(text.contains("nagano_httpd_response_bytes_total{site=\"columbus\"} 528"));
         assert!(text.contains("nagano_httpd_responses_total{class=\"2xx\",site=\"columbus\"} 1"));
         assert!(text.contains("nagano_httpd_responses_total{class=\"4xx\",site=\"columbus\"} 1"));

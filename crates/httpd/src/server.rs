@@ -5,7 +5,7 @@
 //! lifetime (the 1998-era model: persistent connections, bounded
 //! concurrency, no async runtime required at these request sizes).
 
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
@@ -40,10 +40,13 @@ where
 pub struct ServerConfig {
     /// Worker threads (concurrent connections served).
     pub workers: usize,
-    /// Pending-connection queue depth before accept blocks.
+    /// Pending-connection queue depth; connections beyond it are shed
+    /// with a `503` + `Retry-After` instead of queueing unboundedly.
     pub backlog: usize,
     /// Per-connection read timeout.
     pub read_timeout: Duration,
+    /// `Retry-After` seconds advertised on shed (503) responses.
+    pub retry_after_secs: u32,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +55,7 @@ impl Default for ServerConfig {
             workers: 8,
             backlog: 128,
             read_timeout: Duration::from_secs(5),
+            retry_after_secs: 2,
         }
     }
 }
@@ -63,6 +67,7 @@ pub struct Server {
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     served: Arc<AtomicU64>,
+    shed: Arc<AtomicU64>,
 }
 
 impl Server {
@@ -88,6 +93,7 @@ impl Server {
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let served = Arc::new(AtomicU64::new(0));
+        let shed = Arc::new(AtomicU64::new(0));
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(config.backlog);
 
         let mut workers = Vec::with_capacity(config.workers);
@@ -108,19 +114,30 @@ impl Server {
         }
 
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_shed = Arc::clone(&shed);
+        let retry_after = config.retry_after_secs;
         let accept_thread = std::thread::Builder::new()
             .name("httpd-accept".into())
             .spawn(move || {
+                use crossbeam::channel::TrySendError;
                 for stream in listener.incoming() {
                     if accept_shutdown.load(Relaxed) {
                         break;
                     }
                     match stream {
-                        Ok(s) => {
-                            if tx.send(s).is_err() {
-                                break;
+                        Ok(s) => match tx.try_send(s) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(s)) => {
+                                // Every worker is busy and the pending
+                                // queue is full: shed the connection with
+                                // a 503 + Retry-After rather than queue
+                                // it unboundedly (load shedding is the
+                                // fault tier below a node outage).
+                                accept_shed.fetch_add(1, Relaxed);
+                                shed_connection(s, retry_after);
                             }
-                        }
+                            Err(TrySendError::Disconnected(_)) => break,
+                        },
                         Err(_) => continue,
                     }
                 }
@@ -133,6 +150,7 @@ impl Server {
             accept_thread: Some(accept_thread),
             workers,
             served,
+            shed,
         })
     }
 
@@ -144,6 +162,11 @@ impl Server {
     /// Requests served so far.
     pub fn served(&self) -> u64 {
         self.served.load(Relaxed)
+    }
+
+    /// Connections shed with a 503 because the pending queue was full.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Relaxed)
     }
 
     /// Stop accepting and join all threads.
@@ -170,6 +193,15 @@ impl Drop for Server {
             self.stop();
         }
     }
+}
+
+/// Reply 503 + Retry-After on the accept thread and close. The request
+/// is deliberately not read: shedding must stay O(1) no matter how slow
+/// the shed client is.
+fn shed_connection(stream: TcpStream, retry_after_secs: u32) {
+    let mut writer = BufWriter::new(stream);
+    let _ = Response::overloaded(retry_after_secs).write_to(&mut writer, false);
+    let _ = writer.flush();
 }
 
 fn worker_loop(
@@ -342,6 +374,73 @@ mod tests {
         assert_eq!(code, 200);
         assert_eq!(&body[..], b"ok");
         assert_eq!(server.served(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn overflow_connections_are_shed_with_503_retry_after() {
+        use crossbeam::channel;
+        use std::io::Read;
+
+        let (started_tx, started_rx) = channel::bounded::<()>(1);
+        let (release_tx, release_rx) = channel::bounded::<()>(1);
+        let handler: Arc<dyn Handler> = Arc::new(move |_req: &Request| {
+            let _ = started_tx.send(());
+            let _ = release_rx.recv();
+            Response::html(Bytes::from_static(b"slow"))
+        });
+        let server = Server::bind(
+            "127.0.0.1:0",
+            handler,
+            ServerConfig {
+                workers: 1,
+                backlog: 1,
+                retry_after_secs: 7,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        // Occupy the single worker with a handler that blocks until
+        // released.
+        let busy = std::thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).unwrap();
+            client.get("/slow").unwrap()
+        });
+        started_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("handler never started");
+
+        // Fill the single pending-queue slot.
+        let queued = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+
+        // The next connection must be shed: 503 + Retry-After, closed,
+        // without the client even sending a request.
+        let shed_stream = TcpStream::connect(addr).unwrap();
+        shed_stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut raw = String::new();
+        BufReader::new(shed_stream)
+            .read_to_string(&mut raw)
+            .unwrap();
+        assert!(
+            raw.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{raw}"
+        );
+        assert!(raw.contains("Retry-After: 7\r\n"), "{raw}");
+        assert!(raw.contains("Connection: close"), "{raw}");
+        assert_eq!(server.shed(), 1);
+
+        // Releasing the worker drains the queue normally.
+        release_tx.send(()).unwrap();
+        let (code, body) = busy.join().unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(&body[..], b"slow");
+        drop(queued);
+        assert_eq!(server.served(), 1);
         server.shutdown();
     }
 

@@ -56,6 +56,10 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no .unwrap()/.expect() in serving hot-path crates (httpd, cache, trigger, odg)",
     },
     RuleInfo {
+        id: "R002",
+        summary: "no crossbeam::channel::unbounded in serving/propagation crates — bound every queue",
+    },
+    RuleInfo {
         id: "T001",
         summary: "metric names must match nagano_<subsystem>_<metric>",
     },
@@ -93,6 +97,7 @@ struct Scope {
     d001: bool,
     d002: bool,
     r001: bool,
+    r002: bool,
 }
 
 impl Scope {
@@ -112,6 +117,13 @@ impl Scope {
             d002: krate != "simcore",
             // The serving hot path.
             r001: matches!(krate, "httpd" | "cache" | "trigger" | "odg"),
+            // Serving + update-propagation crates: an unbounded queue
+            // here turns overload into memory exhaustion instead of
+            // back-pressure or shedding.
+            r002: matches!(
+                krate,
+                "httpd" | "cache" | "trigger" | "odg" | "db" | "cluster" | "core" | "telemetry"
+            ),
         }
     }
 }
@@ -142,6 +154,9 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     rule_d003(rel_path, &toks, &mut diags);
     if scope.r001 {
         rule_r001(rel_path, &toks, &mut diags);
+    }
+    if scope.r002 {
+        rule_r002(rel_path, &toks, &mut diags);
     }
     rule_t001(rel_path, &toks, &mut diags);
 
@@ -286,6 +301,55 @@ fn rule_r001(file: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// R002: `crossbeam::channel::unbounded` in serving/propagation crates.
+/// Fires on the qualified call (`channel::unbounded(`) and on the
+/// imported name inside a `channel::{...}` use-group; other `unbounded`
+/// identifiers (e.g. `CacheConfig::unbounded`) stay clean.
+fn rule_r002(file: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len() {
+        if ident(toks, i) != Some("unbounded") {
+            continue;
+        }
+        let qualified = i >= 3
+            && punct(toks, i - 1, ':')
+            && punct(toks, i - 2, ':')
+            && ident(toks, i - 3) == Some("channel");
+        if qualified || in_channel_use_group(toks, i) {
+            diags.push(Diagnostic {
+                rule: "R002",
+                file: file.to_string(),
+                line: toks[i].line,
+                message: "unbounded crossbeam channel in a serving/propagation crate".to_string(),
+                suggestion: "use a bounded channel sized to the component's queue budget and \
+                             shed or back-pressure on Full; if the queue is provably bounded \
+                             elsewhere, add an allowlist annotation with the reason"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Is token `i` a member of a `channel::{...}` use-group? Walks back
+/// over group members (idents, commas, `::` pairs) to the opening `{`
+/// and requires a `channel::` path right before it.
+fn in_channel_use_group(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match &toks[j].kind {
+            TokKind::Punct('{') => {
+                return j >= 3
+                    && punct(toks, j - 1, ':')
+                    && punct(toks, j - 2, ':')
+                    && ident(toks, j - 3) == Some("channel");
+            }
+            TokKind::Punct(',') | TokKind::Punct(':') | TokKind::Ident(_) => {}
+            _ => return false,
+        }
+    }
+    false
+}
+
 /// T001: metric names passed to registry methods must follow the
 /// `nagano_<subsystem>_<metric>` convention.
 fn rule_t001(file: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
@@ -366,6 +430,21 @@ mod tests {
         let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }";
         assert_eq!(lint_source("crates/cache/src/cache.rs", src).len(), 1);
         assert!(lint_source("crates/workload/src/gen.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r002_scope_and_decoys() {
+        let src = "pub fn f() { let (_t, _r) = crossbeam::channel::unbounded::<u8>(); }";
+        assert_eq!(lint_source("crates/trigger/src/runner.rs", src).len(), 1);
+        assert_eq!(lint_source("crates/db/src/replication.rs", src).len(), 1);
+        assert!(
+            lint_source("crates/workload/src/gen.rs", src).is_empty(),
+            "workload is outside the serving/propagation scope"
+        );
+        let decoy = "pub fn f() { let _ = CacheConfig::unbounded(); }";
+        assert!(lint_source("crates/cache/src/cache.rs", decoy).is_empty());
+        let grouped = "use crossbeam::channel::{bounded, unbounded};";
+        assert_eq!(lint_source("crates/httpd/src/server.rs", grouped).len(), 1);
     }
 
     #[test]

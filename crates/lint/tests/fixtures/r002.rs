@@ -1,0 +1,13 @@
+// Fixture: R002 — unbounded queues in serving/propagation code.
+use crossbeam::channel::{bounded, unbounded};
+
+pub fn fan_in() {
+    let (_tx, _rx) = crossbeam::channel::unbounded::<u64>();
+}
+
+// Not violations: bounded channels and unrelated `unbounded` names.
+pub fn fine() {
+    let (_tx, _rx) = bounded::<u64>(64);
+    let _cfg = CacheConfig::unbounded();
+    let _n = unbounded_growth_estimate();
+}

@@ -54,6 +54,18 @@ fn r001_fires_on_unwrap_and_expect_only() {
 }
 
 #[test]
+fn r002_fires_on_unbounded_channels_only() {
+    let diags = lint_hot(include_str!("fixtures/r002.rs"));
+    assert_eq!(rules_of(&diags), vec!["R002", "R002"]);
+    assert_eq!(diags[0].line, 2, "use-group import");
+    assert_eq!(diags[1].line, 5, "qualified call");
+    assert!(diags[0].message.contains("unbounded"));
+    assert!(diags[0].suggestion.contains("bounded channel"));
+    // `bounded(64)`, `CacheConfig::unbounded()` and the bare
+    // `unbounded_growth_estimate()` in the same fixture stay clean.
+}
+
+#[test]
 fn t001_fires_on_nonconforming_metric_names() {
     let diags = lint_hot(include_str!("fixtures/t001.rs"));
     assert_eq!(rules_of(&diags), vec!["T001", "T001"]);

@@ -1,6 +1,7 @@
 //! The trigger monitor core: DB transaction → DUP → regenerate/invalidate
 //! → distribute.
 
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -74,6 +75,9 @@ pub struct TriggerMonitor {
     registry: Arc<PageRegistry>,
     policy: ConsistencyPolicy,
     stats: Arc<TriggerStats>,
+    /// Highest transaction id this monitor has processed — the resume
+    /// point after a crash ([`TriggerMonitor::recover`]).
+    watermark: AtomicU64,
 }
 
 impl TriggerMonitor {
@@ -95,6 +99,7 @@ impl TriggerMonitor {
             registry,
             policy,
             stats: Arc::new(TriggerStats::default()),
+            watermark: AtomicU64::new(0),
         }
     }
 
@@ -186,6 +191,8 @@ impl TriggerMonitor {
             return TxnOutcome::default();
         }
         let merged: Vec<&Transaction> = txns.iter().map(|t| t.borrow()).collect();
+        let hi = merged.iter().map(|t| t.id.0).max().unwrap_or(0);
+        self.watermark.fetch_max(hi, Relaxed);
         let outcome = match self.policy {
             ConsistencyPolicy::Conservative96 => self.process_conservative(&merged),
             _ => self.process_precise(&merged),
@@ -308,6 +315,33 @@ impl TriggerMonitor {
             visited,
             ..Default::default()
         }
+    }
+
+    /// Highest transaction id processed so far (0 before any work). A
+    /// restarted monitor resumes from here: everything in the site's
+    /// replicated log after this id is replayed by
+    /// [`TriggerMonitor::recover`].
+    pub fn watermark(&self) -> u64 {
+        self.watermark.load(Relaxed)
+    }
+
+    /// Crash/restart recovery: re-run DUP over the transactions missed
+    /// while the monitor was down. `missed` is the tail of the site's
+    /// replicated log; anything at or below the watermark is skipped, the
+    /// rest is processed as **one** batch (a single propagation), which
+    /// rewarms (update-in-place) or invalidates every affected page so no
+    /// stale entry survives the outage. Increments
+    /// `nagano_trigger_recoveries_total`.
+    pub fn recover(&self, missed: &[impl std::borrow::Borrow<Transaction>]) -> TxnOutcome {
+        let watermark = self.watermark.load(Relaxed);
+        let fresh: Vec<&Transaction> = missed
+            .iter()
+            .map(|t| t.borrow())
+            .filter(|t| t.id.0 > watermark)
+            .collect();
+        let outcome = self.process_batch(&fresh);
+        self.stats.record_recovery();
+        outcome
     }
 
     /// Retire a page: drop it from every serving cache and remove its
@@ -581,6 +615,73 @@ mod tests {
         // Empty batch is a no-op.
         let empty: Vec<Arc<nagano_db::Transaction>> = Vec::new();
         assert_eq!(monitor.process_batch(&empty).affected(), 0);
+    }
+
+    #[test]
+    fn watermark_tracks_the_highest_processed_txn() {
+        let (db, monitor) = setup(ConsistencyPolicy::UpdateInPlace);
+        monitor.prewarm();
+        assert_eq!(monitor.watermark(), 0);
+        let ev = db.events()[0].clone();
+        let t1 = db.record_results(ev.id, &podium(&db, ev.id), false, ev.day);
+        let t2 = db.record_results(ev.id, &podium(&db, ev.id), true, ev.day);
+        monitor.process_txn(&t1);
+        assert_eq!(monitor.watermark(), t1.id.0);
+        monitor.process_txn(&t2);
+        assert_eq!(monitor.watermark(), t2.id.0);
+        // Replaying an old transaction never regresses the watermark.
+        monitor.process_txn(&t1);
+        assert_eq!(monitor.watermark(), t2.id.0);
+    }
+
+    #[test]
+    fn recover_replays_missed_txns_and_rewarms_the_fleet() {
+        let (db, monitor) = setup(ConsistencyPolicy::UpdateInPlace);
+        monitor.prewarm();
+        let ev = db.events()[0].clone();
+        let url = PageKey::Event(ev.id).to_url();
+        let before = monitor.fleet().member(0).peek(&url).unwrap();
+        // The monitor processes t1, then "crashes"; t2 and t3 commit
+        // while it is down.
+        let t1 = db.record_results(ev.id, &podium(&db, ev.id), false, ev.day);
+        monitor.process_txn(&t1);
+        let after_t1 = monitor.fleet().member(0).peek(&url).unwrap();
+        let t2 = db.record_results(ev.id, &podium(&db, ev.id), false, ev.day);
+        let t3 = db.record_results(ev.id, &podium(&db, ev.id), true, ev.day);
+        // Restart: replay the log tail. t1 is at the watermark and must
+        // be skipped; t2/t3 are processed as one batch.
+        let missed = vec![t1, t2, t3];
+        let outcome = monitor.recover(&missed);
+        assert!(outcome.regenerated.contains(&PageKey::Event(ev.id)));
+        let after = monitor.fleet().member(0).peek(&url).unwrap();
+        assert!(after.version > after_t1.version, "page rewarmed");
+        assert!(after.version > before.version);
+        assert_eq!(monitor.watermark(), missed[2].id.0);
+        let s = monitor.stats().snapshot();
+        assert_eq!(s.recoveries, 1);
+        // t1's processing + one batched recovery record.
+        assert_eq!(s.txns, 2);
+        // Recovering with nothing new still counts (a clean restart).
+        let outcome = monitor.recover(&missed);
+        assert_eq!(outcome.affected(), 0);
+        assert_eq!(monitor.stats().snapshot().recoveries, 2);
+    }
+
+    #[test]
+    fn recover_under_invalidate_leaves_no_stale_entry() {
+        let (db, monitor) = setup(ConsistencyPolicy::Invalidate);
+        monitor.prewarm();
+        let ev = db.events()[0].clone();
+        let url = PageKey::Event(ev.id).to_url();
+        assert!(monitor.fleet().member(0).peek(&url).is_some());
+        // Commit while the monitor is down, then recover.
+        let txn = db.record_results(ev.id, &podium(&db, ev.id), true, ev.day);
+        let outcome = monitor.recover(&[txn]);
+        assert!(outcome.invalidated.contains(&PageKey::Event(ev.id)));
+        assert!(
+            monitor.fleet().member(0).peek(&url).is_none(),
+            "stale page must not survive recovery"
+        );
     }
 
     #[test]

@@ -16,6 +16,8 @@ pub struct TriggerStats {
     pages_invalidated: Counter,
     pages_tolerated: Counter,
     nodes_visited: Counter,
+    /// Crash/restart recoveries completed ([`recoveries`](TriggerStats::record_recovery)).
+    recoveries: Counter,
     /// Processing latency in seconds, 1 µs .. 600 s buckets.
     latency: HistogramHandle,
 }
@@ -28,6 +30,7 @@ impl Default for TriggerStats {
             pages_invalidated: Counter::new(),
             pages_tolerated: Counter::new(),
             nodes_visited: Counter::new(),
+            recoveries: Counter::new(),
             latency: HistogramHandle::for_latency(),
         }
     }
@@ -47,6 +50,8 @@ pub struct TriggerStatsSnapshot {
     pub pages_tolerated: u64,
     /// ODG nodes visited by propagation (work metric).
     pub nodes_visited: u64,
+    /// Crash/restart recoveries completed.
+    pub recoveries: u64,
     /// Freshness samples recorded.
     pub latency_count: u64,
     /// Mean processing latency in milliseconds (exact).
@@ -94,6 +99,12 @@ impl TriggerStats {
         self.latency.record(latency_us as f64 / 1e6);
     }
 
+    /// Record one completed crash/restart recovery (the monitor replayed
+    /// its missed transactions and the cache fleet is consistent again).
+    pub fn record_recovery(&self) {
+        self.recoveries.incr();
+    }
+
     /// The live latency distribution (seconds), for binding or direct
     /// percentile queries.
     pub fn latency_histogram(&self) -> HistogramHandle {
@@ -125,6 +136,7 @@ impl TriggerStats {
             labels,
             &self.nodes_visited,
         );
+        registry.bind_counter("nagano_trigger_recoveries_total", labels, &self.recoveries);
         registry.bind_histogram("nagano_trigger_latency_seconds", labels, &self.latency);
     }
 
@@ -138,6 +150,7 @@ impl TriggerStats {
             pages_invalidated: self.pages_invalidated.get(),
             pages_tolerated: self.pages_tolerated.get(),
             nodes_visited: self.nodes_visited.get(),
+            recoveries: self.recoveries.get(),
             latency_count: count,
             mean_ms: if count == 0 {
                 0.0
@@ -175,6 +188,19 @@ mod tests {
         assert_eq!(snap.latency_count, 2);
         assert!((snap.mean_latency_ms() - 1.0).abs() < 1e-9);
         assert!((snap.max_latency_ms() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recoveries_are_counted_and_exported() {
+        use nagano_telemetry::{prometheus_text, MetricsRegistry};
+        let reg = MetricsRegistry::new();
+        let s = TriggerStats::default();
+        s.bind(&reg, &[("site", "tokyo")]);
+        s.record_recovery();
+        s.record_recovery();
+        assert_eq!(s.snapshot().recoveries, 2);
+        let text = prometheus_text(&reg);
+        assert!(text.contains("nagano_trigger_recoveries_total{site=\"tokyo\"} 2"));
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Provable convergence under data-plane faults (DESIGN.md §11): for
+//! ANY generated fault schedule — lossy, delayed, reordered, or
+//! partitioned replication links plus trigger-monitor crashes — once
+//! every fault has healed, each replica's applied watermark equals the
+//! master's transaction log, every trigger monitor has processed up to
+//! that watermark, and a full render audit finds no stale cache entry
+//! anywhere in the fleet.
+
+use nagano_cluster::{random_fault_plan, ClusterConfig, ClusterReport, ClusterSim};
+use nagano_db::GamesConfig;
+use proptest::prelude::*;
+
+/// Run the update-dense days 10–11 under a generated fault plan.
+/// [`random_fault_plan`] draws fault starts at or before 22:59 with
+/// durations of at most 45 minutes, so every fault heals before
+/// midnight of its own day — strictly inside the simulated window.
+fn run_with_plan(plan_seed: u64, events_per_day: u32) -> ClusterReport {
+    ClusterSim::new(ClusterConfig {
+        scale: 50_000.0,
+        seed: 0x1998,
+        games: GamesConfig::small(),
+        start_day: 10,
+        end_day: 11,
+        fault_plan: random_fault_plan(10, 11, events_per_day, plan_seed),
+        audit_convergence: true,
+        ..Default::default()
+    })
+    .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The convergence property itself.
+    #[test]
+    fn healed_fault_schedules_always_converge(
+        plan_seed in any::<u64>(),
+        events_per_day in 1u32..=4,
+    ) {
+        let report = run_with_plan(plan_seed, events_per_day);
+        let master = report.master_txns;
+        prop_assert!(master > 0, "the window must carry update traffic");
+        prop_assert_eq!(
+            report.site_watermarks,
+            [master; 4],
+            "a replica's applied watermark diverged from the master log"
+        );
+        prop_assert_eq!(
+            report.monitor_watermarks,
+            [master; 4],
+            "a trigger monitor stopped short of the applied watermark"
+        );
+        prop_assert_eq!(
+            report.stale_pages,
+            Some(0),
+            "the end-of-run render audit found stale cache entries"
+        );
+        prop_assert_eq!(report.failed_requests, 0);
+    }
+}
+
+/// The worst single schedule deserves a named, always-run case: every
+/// primary edge partitioned at once (the DR re-feed carries Schaumburg),
+/// then healed.
+#[test]
+fn simultaneous_partitions_of_every_primary_edge_converge() {
+    use nagano_cluster::{DataFaultKind, DataFaultPlanEntry, LinkFault};
+    use nagano_simcore::SimTime;
+
+    let mut plan = Vec::new();
+    for edge in 0..4 {
+        plan.push(DataFaultPlanEntry {
+            at: SimTime::at(10, 8, 30),
+            kind: DataFaultKind::Link {
+                edge,
+                fault: LinkFault::Partition,
+            },
+            up: false,
+        });
+        plan.push(DataFaultPlanEntry {
+            at: SimTime::at(10, 11, 30),
+            kind: DataFaultKind::Link {
+                edge,
+                fault: LinkFault::Partition,
+            },
+            up: true,
+        });
+    }
+    let report = ClusterSim::new(ClusterConfig {
+        scale: 50_000.0,
+        seed: 7,
+        games: GamesConfig::small(),
+        start_day: 10,
+        end_day: 10,
+        fault_plan: plan,
+        audit_convergence: true,
+        ..Default::default()
+    })
+    .run();
+    let master = report.master_txns;
+    assert!(master > 0);
+    assert_eq!(report.site_watermarks, [master; 4]);
+    assert_eq!(report.monitor_watermarks, [master; 4]);
+    assert_eq!(report.stale_pages, Some(0));
+    assert!(
+        report.replication_dropped > 0,
+        "the partitions must actually have blocked traffic"
+    );
+}

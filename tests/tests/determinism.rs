@@ -7,8 +7,9 @@
 
 use std::path::{Path, PathBuf};
 
-use nagano_cluster::{ClusterConfig, ClusterSim};
+use nagano_cluster::{scripted_chaos_plan, ClusterConfig, ClusterSim};
 use nagano_db::GamesConfig;
+use nagano_simcore::SimTime;
 
 const EXPORTS: [&str; 3] = ["metrics.prom", "metrics.json", "telemetry_hourly.jsonl"];
 
@@ -45,6 +46,61 @@ fn same_seed_runs_export_byte_identical_telemetry() {
             left, right,
             "{name} differs between two same-seed runs — nondeterminism leaked into telemetry"
         );
+    }
+}
+
+/// Like [`run_exporting`], but over the update-dense day 10 with the
+/// day-0 slice of the scripted chaos schedule active: lossy and delayed
+/// replication links, catch-up retries, and the convergence audit all
+/// on the clock.
+fn run_chaos_exporting(seed: u64, tag: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join("determinism")
+        .join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    ClusterSim::new(ClusterConfig {
+        scale: 20_000.0,
+        seed,
+        games: GamesConfig::small(),
+        start_day: 10,
+        end_day: 10,
+        fault_plan: scripted_chaos_plan(10)
+            .into_iter()
+            .filter(|e| e.at < SimTime::at(11, 0, 0))
+            .collect(),
+        export_dir: Some(dir.clone()),
+        audit_convergence: true,
+        ..Default::default()
+    })
+    .run();
+    dir
+}
+
+#[test]
+fn same_seed_chaos_runs_export_byte_identical_telemetry() {
+    // Fault injection is part of the deterministic surface: drops,
+    // delivery jitter, catch-up retries, and recovery replays must all
+    // replay exactly from the seed.
+    let a = run_chaos_exporting(42, "chaos42_a");
+    let b = run_chaos_exporting(42, "chaos42_b");
+    for name in EXPORTS {
+        let left = std::fs::read(a.join(name)).unwrap_or_else(|e| panic!("read {name}: {e}"));
+        let right = std::fs::read(b.join(name)).unwrap_or_else(|e| panic!("read {name}: {e}"));
+        assert!(!left.is_empty(), "{name} must not be empty");
+        assert_eq!(
+            left, right,
+            "{name} differs between two same-seed chaos runs — fault \
+             injection leaked nondeterminism into telemetry"
+        );
+    }
+    // The chaos schedule must actually exercise the fault-path metrics.
+    let prom = std::fs::read_to_string(a.join("metrics.prom")).expect("read chaos metrics.prom");
+    for metric in [
+        "nagano_cluster_replication_lag_txns",
+        "nagano_cluster_retries_total",
+        "nagano_trigger_recoveries_total",
+    ] {
+        assert!(prom.contains(metric), "{metric} missing from chaos export");
     }
 }
 
