@@ -11,6 +11,11 @@ use std::io::Write;
 
 use nagano_bench::{run_experiment, ExpConfig, ALL_EXPERIMENTS};
 
+/// Experiments that additionally write a `BENCH_<id>.json` copy — the
+/// perf-trajectory artifacts CI uploads so later changes have a recorded
+/// baseline to compare against.
+const BENCH_IDS: &[&str] = &["hybrid"];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = ExpConfig::default();
@@ -79,7 +84,13 @@ fn main() {
                     "quick": config.quick,
                     "data": result.json,
                 });
-                writeln!(f, "{}", serde_json::to_string_pretty(&blob).unwrap()).unwrap();
+                let pretty = serde_json::to_string_pretty(&blob).unwrap();
+                writeln!(f, "{pretty}").unwrap();
+                if BENCH_IDS.contains(&id.as_str()) {
+                    let bench_path = format!("{out_dir}/BENCH_{id}.json");
+                    let mut bf = std::fs::File::create(&bench_path).expect("write bench json");
+                    writeln!(bf, "{pretty}").unwrap();
+                }
             }
             None => {
                 eprintln!("unknown experiment id: {id}");

@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod caching;
 pub mod figures;
+pub mod hybrid;
 pub mod systems;
 pub mod tables;
 
@@ -41,13 +42,13 @@ pub fn cluster_config(config: &ExpConfig, policy: ConsistencyPolicy) -> ClusterC
         us_congestion: (7, 9, 1.45),
         updates_on_serving_nodes: false,
         export_dir: Some(
-            std::path::PathBuf::from("target/experiments/telemetry").join(policy.label()),
+            std::path::PathBuf::from("target/experiments/telemetry").join(policy.slug()),
         ),
         audit_convergence: false,
     }
 }
 
-type ReportKey = (u64, u64, bool, &'static str);
+type ReportKey = (u64, u64, bool, ConsistencyPolicy);
 
 fn report_cache() -> &'static Mutex<FxHashMap<ReportKey, Arc<ClusterReport>>> {
     static CACHE: OnceLock<Mutex<FxHashMap<ReportKey, Arc<ClusterReport>>>> = OnceLock::new();
@@ -63,12 +64,7 @@ pub fn full_report(config: &ExpConfig) -> Arc<ClusterReport> {
 
 /// Memoized full-Games simulation under an arbitrary policy.
 pub fn report_for_policy(config: &ExpConfig, policy: ConsistencyPolicy) -> Arc<ClusterReport> {
-    let key: ReportKey = (
-        config.scale.to_bits(),
-        config.seed,
-        config.quick,
-        policy.label(),
-    );
+    let key: ReportKey = (config.scale.to_bits(), config.seed, config.quick, policy);
     if let Some(r) = report_cache().lock().unwrap().get(&key) {
         return Arc::clone(r);
     }

@@ -27,6 +27,7 @@
 //! | `fresh` | update-to-visible latency |
 //! | `nav` | 1996 vs 1998 page-structure navigation cost |
 //! | `regen` | pages regenerated per day |
+//! | `hybrid` | hotness-aware hybrid propagation sweep (regen CPU vs weighted staleness) |
 //! | `staleness` | ablation: weighted staleness threshold |
 //! | `batching` | ablation: coalesced trigger processing |
 //! | `shift` | ablation: MSIRP 8⅓% traffic shifting |
@@ -101,7 +102,7 @@ impl ExpResult {
 }
 
 /// All experiment ids in canonical order.
-pub const ALL_EXPERIMENTS: [&str; 24] = [
+pub const ALL_EXPERIMENTS: [&str; 25] = [
     "fig18",
     "fig20",
     "fig21",
@@ -118,6 +119,7 @@ pub const ALL_EXPERIMENTS: [&str; 24] = [
     "fresh",
     "nav",
     "regen",
+    "hybrid",
     "staleness",
     "batching",
     "shift",
@@ -148,6 +150,7 @@ pub fn run_experiment(id: &str, config: &ExpConfig) -> Option<ExpResult> {
         "fresh" => e::systems::fresh(config),
         "nav" => e::systems::nav(config),
         "regen" => e::systems::regen(config),
+        "hybrid" => e::hybrid::hybrid(config),
         "staleness" => e::ablations::staleness(config),
         "batching" => e::ablations::batching(config),
         "shift" => e::ablations::shift(config),

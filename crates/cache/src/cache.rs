@@ -83,6 +83,9 @@ struct Entry {
     cost: f64,
     pinned: bool,
     freq: u64,
+    /// Hits since the last [`PageCache::drain_window_hits`] call — the raw
+    /// input to the fleet-level EWMA hotness tracker.
+    window_hits: u64,
     last_tick: u64,
     /// Identity of the entry's newest heap record, drawn from the shard's
     /// monotonic tick so stale records — including ones surviving from a
@@ -97,6 +100,9 @@ struct Shard {
     bytes: u64,
     /// GreedyDual-Size inflation term L.
     inflation: f64,
+    /// Keys whose `window_hits` went 0 → nonzero since the last drain, so
+    /// draining walks only touched entries rather than the whole map.
+    dirty: Vec<Arc<str>>,
 }
 
 impl Shard {
@@ -107,6 +113,7 @@ impl Shard {
             tick: 0,
             bytes: 0,
             inflation: 0.0,
+            dirty: Vec::new(),
         }
     }
 
@@ -116,6 +123,10 @@ impl Shard {
         let tick = self.tick;
         if let Some(e) = self.map.get_mut(key) {
             e.freq += 1;
+            if e.window_hits == 0 {
+                self.dirty.push(Arc::clone(key));
+            }
+            e.window_hits += 1;
             e.last_tick = tick;
             e.stamp = tick;
             if policy.is_bounded() {
@@ -313,6 +324,7 @@ impl PageCache {
                     cost,
                     pinned: false,
                     freq: 0,
+                    window_hits: 0,
                     last_tick: tick,
                     stamp: tick,
                 },
@@ -440,6 +452,29 @@ impl PageCache {
         out
     }
 
+    /// Collect and reset per-entry hit counts accumulated since the last
+    /// drain: `(key, hits)` for every entry touched in the window. Walks
+    /// only the per-shard dirty lists, so cost is proportional to the
+    /// number of *distinct* pages hit, not the cache size. Keys evicted or
+    /// invalidated since they were hit are silently dropped (their window
+    /// counts die with the entry). Order is deterministic: shards in index
+    /// order, keys in first-hit order within a shard.
+    pub fn drain_window_hits(&self) -> Vec<(Arc<str>, u64)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let mut shard = s.lock();
+            let dirty = std::mem::take(&mut shard.dirty);
+            for key in dirty {
+                if let Some(e) = shard.map.get_mut(&key) {
+                    if e.window_hits > 0 {
+                        out.push((key, std::mem::take(&mut e.window_hits)));
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Restore an entry with an explicit version (peer resync). Unlike
     /// [`PageCache::put`], the version is copied rather than bumped, so a
     /// resynced node agrees with its peers' entity tags. Counted as an
@@ -468,6 +503,7 @@ impl PageCache {
                     cost,
                     pinned: false,
                     freq: 0,
+                    window_hits: 0,
                     last_tick: tick,
                     stamp: tick,
                 },
@@ -653,6 +689,47 @@ mod tests {
         let mut keys = c.keys();
         keys.sort();
         assert_eq!(keys, vec!["/a", "/b"]);
+    }
+
+    #[test]
+    fn drain_window_hits_collects_and_resets() {
+        let c = PageCache::default();
+        c.put("/a", body("1"), 1.0);
+        c.put("/b", body("2"), 1.0);
+        c.put("/c", body("3"), 1.0);
+        for _ in 0..3 {
+            c.get("/a");
+        }
+        c.get("/b");
+        c.peek("/c"); // peek must not count as traffic
+        c.get("/zzz"); // miss must not count as traffic
+        let mut hits: Vec<(String, u64)> = c
+            .drain_window_hits()
+            .into_iter()
+            .map(|(k, n)| (k.to_string(), n))
+            .collect();
+        hits.sort();
+        assert_eq!(hits, vec![("/a".into(), 3), ("/b".into(), 1)]);
+        // The drain resets the window: nothing new means nothing drained.
+        assert!(c.drain_window_hits().is_empty());
+        // A fresh window starts counting from zero.
+        c.get("/a");
+        let again = c.drain_window_hits();
+        assert_eq!(again.len(), 1);
+        assert_eq!((&*again[0].0, again[0].1), ("/a", 1));
+    }
+
+    #[test]
+    fn drain_window_hits_skips_invalidated_entries() {
+        let c = PageCache::default();
+        c.put("/a", body("1"), 1.0);
+        c.get("/a");
+        c.invalidate("/a");
+        assert!(c.drain_window_hits().is_empty());
+        // Re-inserting and hitting again re-enters the dirty list cleanly.
+        c.put("/a", body("2"), 1.0);
+        c.get("/a");
+        assert_eq!(c.drain_window_hits().len(), 1);
     }
 
     #[test]

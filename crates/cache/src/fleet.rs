@@ -10,14 +10,21 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
+use rustc_hash::FxHashMap;
 
 use crate::cache::{CacheConfig, CachedPage, PageCache};
+use crate::hotness::{HotnessTracker, EWMA_ALPHA};
 use crate::stats::StatsSnapshot;
 
 /// A set of replicated serving caches fed by one distributor.
 #[derive(Debug)]
 pub struct CacheFleet {
     members: Vec<Arc<PageCache>>,
+    /// Fleet-wide EWMA hotness, folded from the members' window-hit
+    /// counters by [`CacheFleet::fold_hotness`]. Requests are spread over
+    /// all members by the dispatcher, so hotness is meaningful only as an
+    /// aggregate across the fleet.
+    hotness: HotnessTracker,
 }
 
 impl CacheFleet {
@@ -29,6 +36,7 @@ impl CacheFleet {
             members: (0..n)
                 .map(|_| Arc::new(PageCache::new(config.clone())))
                 .collect(),
+            hotness: HotnessTracker::default(),
         }
     }
 
@@ -99,6 +107,49 @@ impl CacheFleet {
         for m in &self.members {
             m.clear();
         }
+    }
+
+    /// Fold every member's window-hit counters into the fleet EWMA as of
+    /// sim minute `minute`. Called once per minute by the cluster
+    /// heartbeat; between folds the members just bump per-entry counters
+    /// under their existing shard locks. Counts for the same key across
+    /// members are summed before folding so fleet size never skews the
+    /// EWMA scale.
+    pub fn fold_hotness(&self, minute: u64) {
+        let mut window: FxHashMap<Arc<str>, u64> = FxHashMap::default();
+        let mut order: Vec<Arc<str>> = Vec::new();
+        for m in &self.members {
+            for (key, n) in m.drain_window_hits() {
+                match window.get_mut(&key) {
+                    Some(total) => *total += n,
+                    None => {
+                        window.insert(Arc::clone(&key), n);
+                        order.push(key);
+                    }
+                }
+            }
+        }
+        self.hotness.fold(
+            order.into_iter().map(|k| {
+                let n = window[&k];
+                (k, n)
+            }),
+            minute,
+            EWMA_ALPHA,
+        );
+    }
+
+    /// Current EWMA hotness of `key` as of sim minute `minute` (0.0 for
+    /// pages with no tracked traffic).
+    pub fn hotness(&self, key: &str, minute: u64) -> f64 {
+        self.hotness.get(key, minute, EWMA_ALPHA)
+    }
+
+    /// Hot/cold split threshold: a page is hot iff its hotness is `>=`
+    /// the returned value. See [`HotnessTracker::threshold`] for the
+    /// quantile rule and the `±inf` sentinels.
+    pub fn hotness_threshold(&self, hot_permille: u16, minute: u64) -> f64 {
+        self.hotness.threshold(hot_permille, minute, EWMA_ALPHA)
     }
 
     /// Resynchronise member `to` from member `from`: a recovered serving
@@ -204,6 +255,30 @@ mod tests {
             assert_eq!(healthy.version, resynced.version, "{key}");
         }
         assert_eq!(fleet.member(2).peek("/a").unwrap().version, 2);
+    }
+
+    #[test]
+    fn hotness_folds_across_members() {
+        let fleet = CacheFleet::new(2, CacheConfig::default());
+        fleet.distribute("/hot", body("h"), 1.0);
+        fleet.distribute("/cold", body("c"), 1.0);
+        // Traffic lands on different members; hotness is the fleet sum.
+        for _ in 0..5 {
+            fleet.get_from(0, "/hot");
+            fleet.get_from(1, "/hot");
+        }
+        fleet.get_from(0, "/cold");
+        fleet.fold_hotness(1);
+        let hot = fleet.hotness("/hot", 1);
+        let cold = fleet.hotness("/cold", 1);
+        assert!(hot > cold, "hot {hot} vs cold {cold}");
+        assert_eq!(hot, crate::hotness::EWMA_ALPHA * 10.0);
+        // Top-half split puts /hot above the threshold and /cold below.
+        let thr = fleet.hotness_threshold(500, 1);
+        assert!(hot >= thr && cold < thr);
+        // Sentinels pass straight through.
+        assert_eq!(fleet.hotness_threshold(0, 1), f64::INFINITY);
+        assert_eq!(fleet.hotness_threshold(1000, 1), f64::NEG_INFINITY);
     }
 
     #[test]

@@ -18,16 +18,22 @@
 //!   memory is scarce.
 //! * [`CacheFleet`] — the eight per-frame serving caches fed by the
 //!   trigger monitor's distributor (Figure 6).
+//! * [`hotness`] — per-page EWMA access frequency, folded from the
+//!   members' hit counters once per sim minute; the hybrid propagation
+//!   policy uses it to regenerate hot pages and invalidate the cold tail
+//!   (DESIGN.md §12).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod fleet;
+pub mod hotness;
 pub mod policy;
 pub mod stats;
 
 pub use cache::{CacheConfig, CachedPage, PageCache};
 pub use fleet::CacheFleet;
+pub use hotness::HotnessTracker;
 pub use policy::ReplacementPolicy;
 pub use stats::{CacheStats, StatsSnapshot};

@@ -159,6 +159,19 @@ pub struct ClusterReport {
     pub cache: StatsSnapshot,
     /// Pages regenerated per day across sites (index 0 = day 1).
     pub regen_per_day: Vec<u64>,
+    /// Modeled render CPU spent on trigger-driven regeneration (ms),
+    /// summed across sites.
+    pub regen_cpu_ms: u64,
+    /// Modeled render CPU *avoided* by invalidating instead of
+    /// regenerating (ms), summed across sites. Zero outside
+    /// `Invalidate`/`Hybrid`.
+    pub regen_saved_ms: u64,
+    /// Sum of traffic-weighted staleness samples (seconds): each request
+    /// that hits a page while it is stale-marked contributes its current
+    /// staleness age. Approximate (log-bucketed histogram mean × count).
+    pub weighted_staleness_sum_secs: f64,
+    /// Number of traffic-weighted staleness samples behind the sum.
+    pub weighted_staleness_samples: u64,
     /// Freshness: master-commit → site-visible latency (seconds).
     pub freshness: Welford,
     /// Freshness distribution (seconds) — percentile queries for the
@@ -516,6 +529,10 @@ impl ClusterSim {
             service_away_from_updates: Welford::new(),
             cache: StatsSnapshot::default(),
             regen_per_day: vec![0; cfg.end_day as usize],
+            regen_cpu_ms: 0,
+            regen_saved_ms: 0,
+            weighted_staleness_sum_secs: 0.0,
+            weighted_staleness_samples: 0,
             freshness: Welford::new(),
             freshness_hist: Histogram::new(1e-3, 600.0),
             freshness_max: 0.0,
@@ -613,7 +630,7 @@ impl ClusterSim {
                                 // While the monitor is down the replica still
                                 // advances its log; DUP runs at recovery.
                                 if monitor_up[s] {
-                                    let outcome = monitors[s].process_txn(&txn);
+                                    let outcome = monitors[s].process_txn_at(&txn, at);
                                     last_apply_minute[s] = at.minute_index() as i64;
                                     let day_idx = at.day().min(cfg.end_day) as usize - 1;
                                     report.regen_per_day[day_idx] +=
@@ -786,7 +803,7 @@ impl ClusterSim {
                                 if monitor_up[s] {
                                     // One DUP propagation over the union of
                                     // the pulled transactions.
-                                    let outcome = monitors[s].process_batch(&missed);
+                                    let outcome = monitors[s].process_batch_at(&missed, applied_at);
                                     last_apply_minute[s] = applied_at.minute_index() as i64;
                                     let day_idx = applied_at.day().min(cfg.end_day) as usize - 1;
                                     report.regen_per_day[day_idx] +=
@@ -856,7 +873,7 @@ impl ClusterSim {
                                     let missed = replicas[site]
                                         .local_log()
                                         .since(TxnId(monitors[site].watermark()));
-                                    let outcome = monitors[site].recover(&missed);
+                                    let outcome = monitors[site].recover_at(&missed, at);
                                     report.recoveries += 1;
                                     last_apply_minute[site] = at.minute_index() as i64;
                                     let day_idx = at.day().min(cfg.end_day) as usize - 1;
@@ -889,6 +906,22 @@ impl ClusterSim {
                             "{{\"hour\":{hour},\"snapshot\":{}}}",
                             json_snapshot(&telemetry.registry)
                         ));
+                    }
+                }
+            }
+
+            // Hotness heartbeat: fold each fleet's window-hit counters into
+            // its EWMA, then give the Hybrid deferred queue a budgeted
+            // drain slice (no-op under other policies). Runs during the
+            // settle tail too so deferred work cannot be stranded.
+            for s in 0..SITES.len() {
+                monitors[s].fleet().fold_hotness(minute);
+                if monitor_up[s] {
+                    let drained = monitors[s].drain_deferred(minute_end);
+                    if !drained.is_empty() {
+                        let day_idx = minute_end.day().min(cfg.end_day) as usize - 1;
+                        report.regen_per_day[day_idx] += drained.len() as u64;
+                        last_apply_minute[s] = minute_end.minute_index() as i64;
                     }
                 }
             }
@@ -980,6 +1013,7 @@ impl ClusterSim {
                 }
                 let url = sample.page.to_url();
                 let monitor = &monitors[site.0];
+                monitor.observe_request(sample.page, t_mid);
                 let (bytes, mut server_ms, cache_hit) = match monitor.fleet().get_from(0, &url) {
                     Some(page) => (page.body.len() as u64, 0.5, true),
                     None => {
@@ -1058,6 +1092,13 @@ impl ClusterSim {
             agg.bytes_peak += s.bytes_peak;
         }
         report.cache = agg;
+        for m in &monitors {
+            let s = m.stats().snapshot();
+            report.regen_cpu_ms += s.regen_cpu_ms;
+            report.regen_saved_ms += s.regen_saved_ms;
+            report.weighted_staleness_sum_secs += s.weighted_staleness_sum_secs;
+            report.weighted_staleness_samples += s.weighted_staleness_count;
+        }
         report.freshness_hist = freshness_hist.snapshot();
         report.master_txns = db.log().len() as u64;
         for s in 0..SITES.len() {
@@ -1168,6 +1209,79 @@ mod tests {
             "conservative hit rate {}",
             cons.hit_rate()
         );
+    }
+
+    #[test]
+    fn hybrid_policy_trades_regen_cpu_for_bounded_staleness() {
+        let mut cfg = quick_config();
+        cfg.policy = ConsistencyPolicy::hybrid(0.5, Some(400));
+        let hyb = ClusterSim::new(cfg).run();
+        let upd = ClusterSim::new(quick_config()).run();
+        let mut inv_cfg = quick_config();
+        inv_cfg.policy = ConsistencyPolicy::Invalidate;
+        let inv = ClusterSim::new(inv_cfg).run();
+
+        assert_eq!(hyb.failed_requests, 0);
+        // Both halves of the split exercised: hot pages updated in place,
+        // the cold tail invalidated.
+        assert!(hyb.cache.updates > 0, "no in-place updates");
+        assert!(hyb.cache.invalidations > 0, "no cold-tail invalidations");
+        // Less render CPU than full update-in-place, which saves nothing.
+        assert!(
+            hyb.regen_cpu_ms < upd.regen_cpu_ms,
+            "hybrid {} ms vs update-in-place {} ms",
+            hyb.regen_cpu_ms,
+            upd.regen_cpu_ms
+        );
+        assert!(hyb.regen_saved_ms > 0);
+        assert_eq!(upd.regen_saved_ms, 0);
+        // Update-in-place never leaves a page stale, so no request ever
+        // observes staleness; hybrid stays below pure invalidation.
+        assert_eq!(upd.weighted_staleness_samples, 0);
+        assert!(
+            hyb.weighted_staleness_sum_secs < inv.weighted_staleness_sum_secs,
+            "hybrid {}s vs invalidate {}s",
+            hyb.weighted_staleness_sum_secs,
+            inv.weighted_staleness_sum_secs
+        );
+        // Hit rate sits between the two pure policies.
+        assert!(
+            hyb.hit_rate() >= inv.hit_rate() && hyb.hit_rate() <= upd.hit_rate(),
+            "inv {} <= hyb {} <= upd {}",
+            inv.hit_rate(),
+            hyb.hit_rate(),
+            upd.hit_rate()
+        );
+    }
+
+    #[test]
+    fn hybrid_tight_budget_defers_work_without_dropping_pages() {
+        fn metric_sum(prom: &str, name: &str) -> f64 {
+            prom.lines()
+                .filter(|l| l.starts_with(name))
+                .filter_map(|l| l.split_whitespace().last())
+                .filter_map(|v| v.parse::<f64>().ok())
+                .sum()
+        }
+        // Update-dense days + a budget far below the per-batch render
+        // cost: most hot pages must take the deferred path.
+        let mut cfg = fault_config();
+        cfg.policy = ConsistencyPolicy::hybrid(1.0, Some(50));
+        let report = ClusterSim::new(cfg).run();
+        let prom = prometheus_text(&report.telemetry.registry);
+        assert!(
+            metric_sum(&prom, "nagano_trigger_pages_deferred_total") > 0.0,
+            "tight budget never deferred"
+        );
+        assert!(prom.contains("nagano_trigger_regen_saved_ms_total"));
+        assert!(prom.contains("nagano_trigger_weighted_staleness_seconds"));
+        // hot_fraction 1.0 has no cold tail: deferred pages keep serving
+        // their old bytes instead of missing, so the hit rate stays at
+        // update-in-place levels while per-batch CPU stays bounded.
+        assert!(report.hit_rate() > 0.99, "hit rate {}", report.hit_rate());
+        // Requests that land on a parked page record its staleness age.
+        assert!(report.weighted_staleness_samples > 0);
+        assert!(report.regen_cpu_ms > 0);
     }
 
     #[test]

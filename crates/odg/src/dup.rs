@@ -451,6 +451,86 @@ mod tests {
     }
 
     #[test]
+    fn threshold_boundary_general_path() {
+        // 1 → 2 (w 0.75) → 3: the weighted edge forces the general
+        // traversal; both 2 and 3 accumulate exactly 0.75.
+        let mut e = DupEngine::new();
+        e.add_dependency(n(1), n(2), 0.75).unwrap();
+        e.add_dependency(n(2), n(3), 1.0).unwrap();
+        e.set_policy(StalenessPolicy::Threshold(0.75));
+        let p = e.propagate_ids(&[n(1)]);
+        assert!(!p.used_simple_path);
+        // Exactly at threshold is STALE (`>=`), not tolerated — the
+        // conservative side of the boundary.
+        assert_eq!(p.stale_ids().collect::<Vec<_>>(), vec![n(2), n(3)]);
+        assert!(p.tolerated.is_empty());
+        // One representable step above the accumulation tolerates both.
+        e.set_policy(StalenessPolicy::Threshold(0.75 + f64::EPSILON));
+        let p = e.propagate_ids(&[n(1)]);
+        assert!(p.stale.is_empty());
+        let tolerated: Vec<NodeId> = p.tolerated.iter().map(|&(id, _)| id).collect();
+        assert_eq!(tolerated, vec![n(2), n(3)]);
+        assert_eq!(p.affected_count(), 2);
+    }
+
+    #[test]
+    fn threshold_boundary_simple_path() {
+        // Unweighted bipartite graph: the fast path must apply the same
+        // `>=` boundary rule as the general traversal.
+        let mut e = DupEngine::new();
+        e.add_dependency(n(1), n(10), 1.0).unwrap();
+        e.add_dependency(n(2), n(10), 1.0).unwrap();
+        e.set_policy(StalenessPolicy::Threshold(2.0));
+        let p = e.propagate_ids(&[n(1), n(2)]);
+        assert!(p.used_simple_path);
+        // Object 10 accumulates exactly 2.0: at-threshold is stale.
+        assert_eq!(p.stale_ids().collect::<Vec<_>>(), vec![n(10)]);
+        assert!(p.tolerated.is_empty());
+        // Epsilon above the accumulated staleness: tolerated instead.
+        e.set_policy(StalenessPolicy::Threshold(2.0 + 4.0 * f64::EPSILON));
+        let p = e.propagate_ids(&[n(1), n(2)]);
+        assert!(p.used_simple_path);
+        assert!(p.stale.is_empty());
+        assert_eq!(p.tolerated.len(), 1);
+        // And the general path agrees on both sides of the boundary.
+        let g = e.propagate_general(&[(n(1), 1.0), (n(2), 1.0)]);
+        assert!(g.stale.is_empty());
+        assert_eq!(g.tolerated.len(), 1);
+    }
+
+    #[test]
+    fn cycle_outside_affected_subgraph_stays_precise() {
+        let mut e = DupEngine::new();
+        // Weighted chain (general path) plus a cycle the change never
+        // reaches: the fallback must not fire for unaffected cycles.
+        e.add_dependency(n(1), n(2), 1.5).unwrap();
+        e.add_dependency(n(10), n(11), 1.0).unwrap();
+        e.add_dependency(n(11), n(10), 1.0).unwrap();
+        let p = e.propagate_ids(&[n(1)]);
+        assert!(!p.cycle_fallback);
+        assert!(!p.used_simple_path);
+        assert_eq!(p.stale_ids().collect::<Vec<_>>(), vec![n(2)]);
+        let s2 = p.stale[0].1;
+        assert!((s2 - 1.5).abs() < 1e-12, "precise weight, got {s2}");
+    }
+
+    #[test]
+    fn cyclic_fallback_overrides_threshold_tolerance() {
+        // Weight accumulation is undefined on a cycle, so even a huge
+        // tolerance threshold must not tolerate anything: every reachable
+        // object is infinitely stale (INFINITY >= t for any finite t).
+        let mut e = DupEngine::new();
+        e.add_dependency(n(1), n(2), 1.0).unwrap();
+        e.add_dependency(n(2), n(1), 1.0).unwrap();
+        e.set_policy(StalenessPolicy::Threshold(1e9));
+        let p = e.propagate_ids(&[n(1)]);
+        assert!(p.cycle_fallback);
+        assert!(p.tolerated.is_empty(), "cycles never tolerate");
+        assert_eq!(p.stale_ids().collect::<Vec<_>>(), vec![n(1), n(2)]);
+        assert!(p.stale.iter().all(|&(_, s)| s == f64::INFINITY));
+    }
+
+    #[test]
     fn pure_data_sources_not_reported_stale() {
         let mut e = figure1_engine();
         let p = e.propagate_ids(&[n(1)]);

@@ -16,6 +16,9 @@
 //!     missing, which is how the 1998 site reached ~100% hit rates;
 //!   - `Invalidate` — precise DUP invalidation (pages regenerate on the
 //!     next demand miss);
+//!   - `Hybrid` — hotness-aware split (DESIGN.md §12): regenerate stale
+//!     pages hottest-first under a per-batch budget, invalidate the cold
+//!     tail, defer overflow to a bounded queue drained on later ticks;
 //!   - `Conservative96` — the 1996 baseline: invalidate entire content
 //!     sections, "significantly more pages ... than were necessary".
 //! * [`runner`] — a background thread driving the monitor from a
@@ -32,6 +35,6 @@ pub mod runner;
 pub mod stats;
 
 pub use monitor::{TriggerMonitor, TxnOutcome};
-pub use policy::ConsistencyPolicy;
+pub use policy::{ConsistencyPolicy, HybridConfig};
 pub use runner::TriggerRunner;
 pub use stats::{TriggerStats, TriggerStatsSnapshot};

@@ -6,16 +6,21 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rayon::prelude::*;
-use rustc_hash::FxHashSet;
+use rustc_hash::{FxHashMap, FxHashSet};
 
 use nagano_cache::CacheFleet;
 use nagano_db::Transaction;
 use nagano_odg::{DupEngine, Interner, NodeId, StalenessPolicy};
 use nagano_pagegen::{PageKey, PageRegistry, RenderOutput, Renderer};
-use nagano_simcore::SimDuration;
+use nagano_simcore::{SimDuration, SimTime};
 
 use crate::policy::ConsistencyPolicy;
 use crate::stats::TriggerStats;
+
+/// Upper bound on the hybrid policy's deferred queue. Overflow beyond
+/// this sheds to invalidation instead of queueing, so a regen storm can
+/// never accumulate unbounded catch-up work (backpressure, not memory).
+const DEFERRED_CAP: usize = 4096;
 
 /// Outcome of processing one transaction.
 #[derive(Debug, Clone, Default)]
@@ -26,6 +31,9 @@ pub struct TxnOutcome {
     pub invalidated: Vec<PageKey>,
     /// Affected pages tolerated as slightly stale (threshold policy).
     pub tolerated: Vec<PageKey>,
+    /// Hot pages past the hybrid regen budget, parked on the deferred
+    /// queue for a later [`TriggerMonitor::drain_deferred`] tick.
+    pub deferred: Vec<PageKey>,
     /// ODG nodes visited by the propagation.
     pub visited: usize,
     /// Modeled processing latency on the sim clock — a deterministic
@@ -38,7 +46,7 @@ pub struct TxnOutcome {
 impl TxnOutcome {
     /// Total pages affected by this transaction.
     pub fn affected(&self) -> usize {
-        self.regenerated.len() + self.invalidated.len() + self.tolerated.len()
+        self.regenerated.len() + self.invalidated.len() + self.tolerated.len() + self.deferred.len()
     }
 }
 
@@ -78,6 +86,15 @@ pub struct TriggerMonitor {
     /// Highest transaction id this monitor has processed — the resume
     /// point after a crash ([`TriggerMonitor::recover`]).
     watermark: AtomicU64,
+    /// When each currently stale-or-missing page went stale (earliest
+    /// mark wins). Fed by the invalidate/defer paths, cleared whenever a
+    /// fresh body reaches the fleet; [`TriggerMonitor::observe_request`]
+    /// turns it into traffic-weighted staleness samples.
+    stale_since: Mutex<FxHashMap<PageKey, SimTime>>,
+    /// The hybrid policy's bounded backpressure queue: hot stale pages
+    /// whose regeneration missed the per-batch budget, drained
+    /// hottest-first by [`TriggerMonitor::drain_deferred`].
+    deferred: Mutex<FxHashSet<PageKey>>,
 }
 
 impl TriggerMonitor {
@@ -100,6 +117,8 @@ impl TriggerMonitor {
             policy,
             stats: Arc::new(TriggerStats::default()),
             watermark: AtomicU64::new(0),
+            stale_since: Mutex::new(FxHashMap::default()),
+            deferred: Mutex::new(FxHashSet::default()),
         }
     }
 
@@ -174,19 +193,38 @@ impl TriggerMonitor {
         }
     }
 
-    /// Process one committed transaction.
+    /// Process one committed transaction (at sim time zero; callers with
+    /// a clock should prefer [`TriggerMonitor::process_txn_at`]).
     pub fn process_txn(&self, txn: &Transaction) -> TxnOutcome {
-        self.process_batch(std::slice::from_ref(txn))
+        self.process_txn_at(txn, SimTime::ZERO)
+    }
+
+    /// Process one committed transaction at sim time `now` — the
+    /// timestamp feeds hotness decay, staleness marking, and the hybrid
+    /// budget scheduler.
+    pub fn process_txn_at(&self, txn: &Transaction, now: SimTime) -> TxnOutcome {
+        self.process_batch_at(std::slice::from_ref(txn), now)
     }
 
     /// Process a batch of transactions with a **single** DUP propagation
-    /// over the union of their changed data.
+    /// over the union of their changed data (at sim time zero; callers
+    /// with a clock should prefer [`TriggerMonitor::process_batch_at`]).
+    pub fn process_batch(&self, txns: &[impl std::borrow::Borrow<Transaction>]) -> TxnOutcome {
+        self.process_batch_at(txns, SimTime::ZERO)
+    }
+
+    /// Process a batch of transactions with a **single** DUP propagation
+    /// over the union of their changed data, at sim time `now`.
     ///
     /// The production trigger monitor coalesced updates arriving close
     /// together: a page affected by five transactions in one burst is
     /// regenerated once, not five times. The `batching` ablation
     /// quantifies the saving.
-    pub fn process_batch(&self, txns: &[impl std::borrow::Borrow<Transaction>]) -> TxnOutcome {
+    pub fn process_batch_at(
+        &self,
+        txns: &[impl std::borrow::Borrow<Transaction>],
+        now: SimTime,
+    ) -> TxnOutcome {
         if txns.is_empty() {
             return TxnOutcome::default();
         }
@@ -195,7 +233,7 @@ impl TriggerMonitor {
         self.watermark.fetch_max(hi, Relaxed);
         let outcome = match self.policy {
             ConsistencyPolicy::Conservative96 => self.process_conservative(&merged),
-            _ => self.process_precise(&merged),
+            _ => self.process_precise(&merged, now),
         };
         self.stats.record_txn(
             outcome.regenerated.len() as u64,
@@ -207,7 +245,7 @@ impl TriggerMonitor {
         outcome
     }
 
-    fn process_precise(&self, txns: &[&Transaction]) -> TxnOutcome {
+    fn process_precise(&self, txns: &[&Transaction], now: SimTime) -> TxnOutcome {
         // Resolve changed data keys; unknown keys (no page ever depended
         // on them) are skipped. Duplicates across the batch collapse in
         // the propagation's per-node accumulation.
@@ -239,18 +277,7 @@ impl TriggerMonitor {
 
         match self.policy {
             ConsistencyPolicy::UpdateInPlace => {
-                // Regenerate in parallel; rendering only reads the DB.
-                let rendered: Vec<(PageKey, RenderOutput)> = stale
-                    .par_iter()
-                    .map(|&k| (k, self.renderer.render(k)))
-                    .collect();
-                let render_ms: f64 = rendered.iter().map(|(_, out)| out.cost_ms).sum();
-                let mut regenerated = Vec::with_capacity(rendered.len());
-                for (key, out) in rendered {
-                    self.register_render(key, &out);
-                    self.fleet.distribute(&key.to_url(), out.body, out.cost_ms);
-                    regenerated.push(key);
-                }
+                let (regenerated, render_ms) = self.regenerate(&stale);
                 TxnOutcome {
                     regenerated,
                     tolerated,
@@ -260,9 +287,13 @@ impl TriggerMonitor {
                 }
             }
             ConsistencyPolicy::Invalidate => {
+                let mut saved_ms = 0.0;
                 for key in &stale {
+                    saved_ms += self.renderer.cost_model().cost_ms(*key);
                     self.fleet.invalidate_everywhere(&key.to_url());
+                    self.mark_stale(*key, now);
                 }
+                self.stats.record_regen_saved(saved_ms);
                 TxnOutcome {
                     latency: modeled_latency(visited, stale.len(), 0.0),
                     invalidated: stale,
@@ -271,7 +302,213 @@ impl TriggerMonitor {
                     ..Default::default()
                 }
             }
+            ConsistencyPolicy::Hybrid(cfg) => {
+                let minute = now.minute_index();
+                let threshold = self.fleet.hotness_threshold(cfg.hot_permille, minute);
+                // Deterministic priority order: hotness descending
+                // (total_cmp — no NaNs can occur, but no unwrap either),
+                // then PageKey ascending to break exact ties.
+                let mut ranked: Vec<(PageKey, f64)> = stale
+                    .iter()
+                    .map(|&k| (k, self.fleet.hotness(&k.to_url(), minute)))
+                    .collect();
+                ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+                let budget = cfg.budget_ms();
+                let cost_model = self.renderer.cost_model();
+                let mut to_regen = Vec::new();
+                let mut overflow = Vec::new();
+                let mut invalidated = Vec::new();
+                let mut planned_ms = 0.0;
+                let mut saved_ms = 0.0;
+                for (key, hot) in ranked {
+                    if hot < threshold {
+                        // Cold tail: drop it, save the render.
+                        saved_ms += cost_model.cost_ms(key);
+                        self.fleet.invalidate_everywhere(&key.to_url());
+                        self.mark_stale(key, now);
+                        invalidated.push(key);
+                    } else if budget.is_none_or(|b| planned_ms < b) {
+                        // Strict `<` admits the hottest page even when it
+                        // alone exceeds the budget: progress is
+                        // guaranteed, starvation is impossible.
+                        planned_ms += cost_model.cost_ms(key);
+                        to_regen.push(key);
+                    } else {
+                        overflow.push(key);
+                    }
+                }
+
+                let (regenerated, render_ms) = self.regenerate(&to_regen);
+                let deferred = self.defer(overflow, now, &mut invalidated, &mut saved_ms);
+                self.stats.record_regen_saved(saved_ms);
+                TxnOutcome {
+                    latency: modeled_latency(visited, invalidated.len(), render_ms),
+                    regenerated,
+                    invalidated,
+                    tolerated,
+                    deferred,
+                    visited,
+                }
+            }
             ConsistencyPolicy::Conservative96 => unreachable!("handled by caller"),
+        }
+    }
+
+    /// Render `keys` in parallel (pure DB reads), then register and
+    /// distribute sequentially in the given order. Returns the
+    /// distributed keys and the summed modeled render cost, which is also
+    /// added to `nagano_trigger_regen_cpu_ms_total`.
+    fn regenerate(&self, keys: &[PageKey]) -> (Vec<PageKey>, f64) {
+        if keys.is_empty() {
+            return (Vec::new(), 0.0);
+        }
+        let rendered: Vec<(PageKey, RenderOutput)> = keys
+            .par_iter()
+            .map(|&k| (k, self.renderer.render(k)))
+            .collect();
+        let render_ms: f64 = rendered.iter().map(|(_, out)| out.cost_ms).sum();
+        let mut regenerated = Vec::with_capacity(rendered.len());
+        for (key, out) in rendered {
+            self.register_render(key, &out);
+            self.fleet.distribute(&key.to_url(), out.body, out.cost_ms);
+            regenerated.push(key);
+        }
+        self.clear_stale_marks(&regenerated);
+        self.stats.record_regen_cpu(render_ms);
+        (regenerated, render_ms)
+    }
+
+    /// Park hot-but-over-budget pages on the deferred queue. The queue is
+    /// capped at [`DEFERRED_CAP`]: overflow beyond the cap sheds to
+    /// invalidation (appended to `invalidated`, render cost to
+    /// `saved_ms`) so backpressure never turns into unbounded memory.
+    /// Every parked page is marked stale — it serves old bytes until a
+    /// drain or a later batch refreshes it.
+    fn defer(
+        &self,
+        overflow: Vec<PageKey>,
+        now: SimTime,
+        invalidated: &mut Vec<PageKey>,
+        saved_ms: &mut f64,
+    ) -> Vec<PageKey> {
+        if overflow.is_empty() {
+            return Vec::new();
+        }
+        let mut deferred = Vec::new();
+        let mut queue = self.deferred.lock();
+        for key in overflow {
+            self.mark_stale(key, now);
+            if queue.contains(&key) {
+                // Already queued from an earlier batch; don't double-count.
+                continue;
+            }
+            if queue.len() >= DEFERRED_CAP {
+                *saved_ms += self.renderer.cost_model().cost_ms(key);
+                self.fleet.invalidate_everywhere(&key.to_url());
+                invalidated.push(key);
+            } else {
+                queue.insert(key);
+                deferred.push(key);
+            }
+        }
+        self.stats.record_deferred(deferred.len() as u64);
+        deferred
+    }
+
+    /// Drain the hybrid deferred queue at sim time `now`: re-rank the
+    /// parked pages by *current* hotness, regenerate hottest-first under
+    /// the same per-batch budget, and park the remainder again for the
+    /// next tick. Pages refreshed since they were parked (demand fill,
+    /// retirement, or a later batch) are dropped without work. Returns
+    /// the pages regenerated this tick.
+    ///
+    /// Any tick with a non-empty queue regenerates at least one page
+    /// (strict budget admission), so the queue always drains to empty in
+    /// the absence of new updates — bounded catch-up, no regen storm.
+    pub fn drain_deferred(&self, now: SimTime) -> Vec<PageKey> {
+        let ConsistencyPolicy::Hybrid(cfg) = self.policy else {
+            return Vec::new();
+        };
+        let pending: Vec<PageKey> = {
+            let mut queue = self.deferred.lock();
+            if queue.is_empty() {
+                return Vec::new();
+            }
+            queue.drain().collect()
+        };
+        let still_stale: Vec<PageKey> = {
+            let marks = self.stale_since.lock();
+            pending
+                .into_iter()
+                .filter(|k| marks.contains_key(k))
+                .collect()
+        };
+        let minute = now.minute_index();
+        let mut ranked: Vec<(PageKey, f64)> = still_stale
+            .into_iter()
+            .map(|k| {
+                let hot = self.fleet.hotness(&k.to_url(), minute);
+                (k, hot)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+        let budget = cfg.budget_ms();
+        let cost_model = self.renderer.cost_model();
+        let mut selected = Vec::new();
+        let mut planned_ms = 0.0;
+        let mut requeue = Vec::new();
+        for (key, _) in ranked {
+            // The first page is admitted unconditionally (even under a
+            // zero budget) so every non-empty drain makes progress.
+            if selected.is_empty() || budget.is_none_or(|b| planned_ms < b) {
+                planned_ms += cost_model.cost_ms(key);
+                selected.push(key);
+            } else {
+                requeue.push(key);
+            }
+        }
+        if !requeue.is_empty() {
+            let mut queue = self.deferred.lock();
+            queue.extend(requeue);
+        }
+        let (regenerated, _render_ms) = self.regenerate(&selected);
+        self.stats.record_drained_regen(regenerated.len() as u64);
+        regenerated
+    }
+
+    /// Number of pages currently parked on the hybrid deferred queue.
+    pub fn deferred_len(&self) -> usize {
+        self.deferred.lock().len()
+    }
+
+    /// Record that a request for `key` arrived at `now`: if the page is
+    /// currently stale-or-missing due to propagation, one traffic-weighted
+    /// staleness sample (seconds since it went stale) lands in
+    /// `nagano_trigger_weighted_staleness_seconds`. Hot pages therefore
+    /// weigh on the histogram in proportion to their traffic.
+    pub fn observe_request(&self, key: PageKey, now: SimTime) {
+        let since = self.stale_since.lock().get(&key).copied();
+        if let Some(t) = since {
+            self.stats
+                .record_weighted_staleness(now.since(t).as_secs_f64());
+        }
+    }
+
+    fn mark_stale(&self, key: PageKey, now: SimTime) {
+        // Earliest mark wins: a page invalidated twice has been stale
+        // since the first drop.
+        self.stale_since.lock().entry(key).or_insert(now);
+    }
+
+    fn clear_stale_marks(&self, keys: &[PageKey]) {
+        if keys.is_empty() {
+            return;
+        }
+        let mut marks = self.stale_since.lock();
+        for key in keys {
+            marks.remove(key);
         }
     }
 
@@ -333,13 +570,24 @@ impl TriggerMonitor {
     /// stale entry survives the outage. Increments
     /// `nagano_trigger_recoveries_total`.
     pub fn recover(&self, missed: &[impl std::borrow::Borrow<Transaction>]) -> TxnOutcome {
+        self.recover_at(missed, SimTime::ZERO)
+    }
+
+    /// [`TriggerMonitor::recover`] with an explicit sim clock, so pages
+    /// invalidated during replay are stale-marked at the recovery time
+    /// rather than time zero.
+    pub fn recover_at(
+        &self,
+        missed: &[impl std::borrow::Borrow<Transaction>],
+        now: SimTime,
+    ) -> TxnOutcome {
         let watermark = self.watermark.load(Relaxed);
         let fresh: Vec<&Transaction> = missed
             .iter()
             .map(|t| t.borrow())
             .filter(|t| t.id.0 > watermark)
             .collect();
-        let outcome = self.process_batch(&fresh);
+        let outcome = self.process_batch_at(&fresh, now);
         self.stats.record_recovery();
         outcome
     }
@@ -353,6 +601,10 @@ impl TriggerMonitor {
     /// Returns whether the page was known to the graph.
     pub fn retire_page(&self, key: PageKey) -> bool {
         self.fleet.invalidate_everywhere(&key.to_url());
+        // A retired page is gone on purpose, not stale: drop any pending
+        // mark or deferred regeneration.
+        self.stale_since.lock().remove(&key);
+        self.deferred.lock().remove(&key);
         let mut g = self.graph.lock();
         match g.names.get(&key.object_key()) {
             Some(id) => g.dup.graph_mut().remove_node(id).is_ok(),
@@ -368,6 +620,9 @@ impl TriggerMonitor {
         self.register_render(key, &out);
         self.fleet
             .put_local(node, &key.to_url(), out.body.clone(), out.cost_ms);
+        // The page is fresh again (at least where the miss landed); the
+        // staleness clock stops for it.
+        self.stale_since.lock().remove(&key);
         out
     }
 }
@@ -682,6 +937,140 @@ mod tests {
             monitor.fleet().member(0).peek(&url).is_none(),
             "stale page must not survive recovery"
         );
+    }
+
+    /// Drive enough traffic at `urls` (via fleet member 0) that they are
+    /// tracked hot as of minute 1.
+    fn heat_pages(monitor: &TriggerMonitor, urls: &[String], hits: usize) {
+        for url in urls {
+            for _ in 0..hits {
+                monitor.fleet().get_from(0, url);
+            }
+        }
+        monitor.fleet().fold_hotness(1);
+    }
+
+    #[test]
+    fn hybrid_regenerates_hot_and_invalidates_cold() {
+        let (db, monitor) = setup(ConsistencyPolicy::hybrid(0.5, None));
+        monitor.prewarm();
+        let ev = db.events()[0].clone();
+        // Make the event page (and a couple of fan-out targets) hot; the
+        // rest of the affected set stays cold.
+        let hot_urls = vec![
+            PageKey::Event(ev.id).to_url(),
+            PageKey::Medals.to_url(),
+            PageKey::Home(ev.day).to_url(),
+        ];
+        heat_pages(&monitor, &hot_urls, 10);
+        let txn = db.record_results(ev.id, &podium(&db, ev.id), true, ev.day);
+        let outcome = monitor.process_txn_at(&txn, SimTime::from_mins(2));
+        assert!(outcome.regenerated.contains(&PageKey::Event(ev.id)));
+        assert!(outcome.regenerated.contains(&PageKey::Medals));
+        assert!(
+            !outcome.invalidated.is_empty(),
+            "cold tail should be invalidated"
+        );
+        // Hot pages were replaced in place, never missing.
+        assert!(monitor
+            .fleet()
+            .member(0)
+            .peek(&PageKey::Event(ev.id).to_url())
+            .is_some());
+        // Cold pages are gone until demand refills them.
+        let cold = outcome.invalidated[0];
+        assert!(monitor.fleet().member(0).peek(&cold.to_url()).is_none());
+        let snap = monitor.stats().snapshot();
+        assert!(snap.regen_cpu_ms > 0);
+        assert!(snap.regen_saved_ms > 0, "cold invalidations save CPU");
+    }
+
+    #[test]
+    fn hybrid_budget_defers_overflow_and_drains_it() {
+        // Everything is hot (fraction 1.0) but the budget is tiny, so most
+        // of the affected set lands on the deferred queue.
+        let (db, monitor) = setup(ConsistencyPolicy::hybrid(1.0, Some(1)));
+        monitor.prewarm();
+        let ev = db.events()[0].clone();
+        let txn = db.record_results(ev.id, &podium(&db, ev.id), true, ev.day);
+        let now = SimTime::from_mins(2);
+        let outcome = monitor.process_txn_at(&txn, now);
+        // Strict admission: at least one page regenerates per batch.
+        assert!(!outcome.regenerated.is_empty());
+        assert!(!outcome.deferred.is_empty(), "budget overflow must defer");
+        assert!(outcome.invalidated.is_empty(), "nothing is cold");
+        assert_eq!(monitor.deferred_len(), outcome.deferred.len());
+        assert_eq!(
+            monitor.stats().snapshot().pages_deferred,
+            outcome.deferred.len() as u64
+        );
+        // Deferred pages keep serving stale bytes (update-in-place never
+        // dropped them) and carry a stale mark.
+        let parked = outcome.deferred[0];
+        assert!(monitor.fleet().member(0).peek(&parked.to_url()).is_some());
+        monitor.observe_request(parked, now + SimDuration::from_mins(3));
+        assert_eq!(monitor.stats().snapshot().weighted_staleness_count, 1);
+        // Ticking the drain clears the queue completely in finite time.
+        let mut drained = Vec::new();
+        let mut tick = now;
+        while monitor.deferred_len() > 0 {
+            tick += SimDuration::from_mins(1);
+            let got = monitor.drain_deferred(tick);
+            assert!(!got.is_empty(), "non-empty queue must make progress");
+            drained.extend(got);
+        }
+        let mut expected: Vec<PageKey> = outcome.deferred.clone();
+        expected.sort();
+        drained.sort();
+        assert_eq!(drained, expected);
+        // Regenerated pages lose their stale marks: a later request
+        // records no staleness sample.
+        monitor.observe_request(parked, tick + SimDuration::from_mins(1));
+        assert_eq!(monitor.stats().snapshot().weighted_staleness_count, 1);
+        // An empty queue drains to nothing.
+        assert!(monitor.drain_deferred(tick).is_empty());
+    }
+
+    #[test]
+    fn hybrid_priority_is_hottest_first() {
+        let (db, monitor) = setup(ConsistencyPolicy::hybrid(1.0, Some(1)));
+        monitor.prewarm();
+        let ev = db.events()[0].clone();
+        // Medals is the hottest affected page by a wide margin.
+        heat_pages(&monitor, &[PageKey::Medals.to_url()], 50);
+        let txn = db.record_results(ev.id, &podium(&db, ev.id), true, ev.day);
+        let outcome = monitor.process_txn_at(&txn, SimTime::from_mins(2));
+        assert_eq!(
+            outcome.regenerated.first(),
+            Some(&PageKey::Medals),
+            "hottest page must be admitted first"
+        );
+    }
+
+    #[test]
+    fn hybrid_cold_pages_accrue_weighted_staleness_until_refilled() {
+        let (db, monitor) = setup(ConsistencyPolicy::hybrid(0.0, None));
+        monitor.prewarm();
+        let ev = db.events()[0].clone();
+        let key = PageKey::Event(ev.id);
+        let t0 = SimTime::from_mins(10);
+        let txn = db.record_results(ev.id, &podium(&db, ev.id), true, ev.day);
+        let outcome = monitor.process_txn_at(&txn, t0);
+        assert!(outcome.invalidated.contains(&key));
+        // Two requests at +60s and +120s observe 60 and 120 stale-seconds.
+        monitor.observe_request(key, t0 + SimDuration::from_secs(60));
+        monitor.observe_request(key, t0 + SimDuration::from_secs(120));
+        let snap = monitor.stats().snapshot();
+        assert_eq!(snap.weighted_staleness_count, 2);
+        assert!(
+            (snap.weighted_staleness_sum_secs - 180.0).abs() / 180.0 < 0.1,
+            "sum {}",
+            snap.weighted_staleness_sum_secs
+        );
+        // A demand fill stops the clock.
+        monitor.demand_fill(0, key);
+        monitor.observe_request(key, t0 + SimDuration::from_mins(60));
+        assert_eq!(monitor.stats().snapshot().weighted_staleness_count, 2);
     }
 
     #[test]

@@ -1,5 +1,46 @@
 //! Cache consistency policies.
 
+/// Parameters for [`ConsistencyPolicy::Hybrid`].
+///
+/// Both knobs are integers so the policy stays `Eq + Hash` (experiment
+/// memoisation keys on the full policy value) and so two same-seed runs
+/// can never disagree over a float parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HybridConfig {
+    /// Hot fraction in permille (0..=1000): the share of *tracked* pages
+    /// treated as hot. 1000 behaves like `UpdateInPlace`, 0 like
+    /// `Invalidate`.
+    pub hot_permille: u16,
+    /// Per-batch regeneration budget in milliseconds of modeled render
+    /// cost; [`HybridConfig::UNBOUNDED`] disables the budget. Hot pages
+    /// past the budget go to the deferred queue instead of being dropped.
+    pub regen_budget_ms: u32,
+}
+
+impl HybridConfig {
+    /// Sentinel for "no budget" (every hot page regenerates in-batch).
+    pub const UNBOUNDED: u32 = u32::MAX;
+
+    /// Build from a hot fraction in `[0.0, 1.0]` and an optional budget.
+    pub fn new(hot_fraction: f64, regen_budget_ms: Option<u32>) -> Self {
+        let permille = (hot_fraction.clamp(0.0, 1.0) * 1000.0).round() as u16;
+        HybridConfig {
+            hot_permille: permille,
+            regen_budget_ms: regen_budget_ms.unwrap_or(Self::UNBOUNDED),
+        }
+    }
+
+    /// The hot fraction as a float in `[0.0, 1.0]`.
+    pub fn hot_fraction(self) -> f64 {
+        self.hot_permille.min(1000) as f64 / 1000.0
+    }
+
+    /// The budget in milliseconds, `None` if unbounded.
+    pub fn budget_ms(self) -> Option<f64> {
+        (self.regen_budget_ms != Self::UNBOUNDED).then_some(self.regen_budget_ms as f64)
+    }
+}
+
 /// What the trigger monitor does with pages DUP reports stale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ConsistencyPolicy {
@@ -11,6 +52,12 @@ pub enum ConsistencyPolicy {
     /// Invalidate exactly the stale pages (precise DUP); the next request
     /// pays the regeneration cost.
     Invalidate,
+    /// Hotness-aware split (DESIGN.md §12): regenerate stale pages
+    /// hottest-first under a per-batch budget, invalidate the cold tail,
+    /// defer in-budget overflow to a bounded queue drained on later sim
+    /// ticks. The paper's "frequently accessed obsolete objects are
+    /// generally updated in the cache in place" made precise.
+    Hybrid(HybridConfig),
     /// The 1996 baseline: no precise dependence information, so entire
     /// content sections are invalidated on any change that touches them.
     /// Preserves consistency but causes high post-update miss rates
@@ -19,12 +66,34 @@ pub enum ConsistencyPolicy {
 }
 
 impl ConsistencyPolicy {
+    /// Convenience constructor for [`ConsistencyPolicy::Hybrid`].
+    pub fn hybrid(hot_fraction: f64, regen_budget_ms: Option<u32>) -> Self {
+        ConsistencyPolicy::Hybrid(HybridConfig::new(hot_fraction, regen_budget_ms))
+    }
+
     /// Short identifier used in experiment tables.
     pub fn label(self) -> &'static str {
         match self {
             ConsistencyPolicy::UpdateInPlace => "dup-update-in-place",
             ConsistencyPolicy::Invalidate => "dup-invalidate",
+            ConsistencyPolicy::Hybrid(_) => "dup-hybrid",
             ConsistencyPolicy::Conservative96 => "conservative-96",
+        }
+    }
+
+    /// Filesystem-safe identifier that distinguishes differently
+    /// parameterised `Hybrid` policies (export directories must not
+    /// collide between sweep points).
+    pub fn slug(self) -> String {
+        match self {
+            ConsistencyPolicy::Hybrid(cfg) => {
+                let budget = match cfg.budget_ms() {
+                    Some(ms) => format!("{}ms", ms as u64),
+                    None => "unbounded".to_string(),
+                };
+                format!("dup-hybrid-{:04}p-{budget}", cfg.hot_permille)
+            }
+            other => other.label().to_string(),
         }
     }
 
@@ -44,12 +113,53 @@ mod tests {
         let labels: HashSet<&str> = [
             ConsistencyPolicy::UpdateInPlace,
             ConsistencyPolicy::Invalidate,
+            ConsistencyPolicy::hybrid(0.5, None),
             ConsistencyPolicy::Conservative96,
         ]
         .into_iter()
         .map(|p| p.label())
         .collect();
-        assert_eq!(labels.len(), 3);
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn hybrid_config_round_trips() {
+        let cfg = HybridConfig::new(0.25, Some(400));
+        assert_eq!(cfg.hot_permille, 250);
+        assert_eq!(cfg.hot_fraction(), 0.25);
+        assert_eq!(cfg.budget_ms(), Some(400.0));
+        let unbounded = HybridConfig::new(1.0, None);
+        assert_eq!(unbounded.hot_permille, 1000);
+        assert_eq!(unbounded.budget_ms(), None);
+        // Out-of-range fractions clamp rather than wrap.
+        assert_eq!(HybridConfig::new(7.0, None).hot_permille, 1000);
+        assert_eq!(HybridConfig::new(-1.0, None).hot_permille, 0);
+        assert!(ConsistencyPolicy::hybrid(0.5, None).needs_precise_dup());
+    }
+
+    #[test]
+    fn slugs_distinguish_hybrid_parameterisations() {
+        use std::collections::HashSet;
+        let slugs: HashSet<String> = [
+            ConsistencyPolicy::UpdateInPlace,
+            ConsistencyPolicy::Invalidate,
+            ConsistencyPolicy::hybrid(0.25, Some(400)),
+            ConsistencyPolicy::hybrid(0.5, Some(400)),
+            ConsistencyPolicy::hybrid(0.5, None),
+            ConsistencyPolicy::Conservative96,
+        ]
+        .into_iter()
+        .map(|p| p.slug())
+        .collect();
+        assert_eq!(slugs.len(), 6);
+        assert_eq!(
+            ConsistencyPolicy::hybrid(0.5, Some(400)).slug(),
+            "dup-hybrid-0500p-400ms"
+        );
+        assert_eq!(
+            ConsistencyPolicy::UpdateInPlace.slug(),
+            "dup-update-in-place"
+        );
     }
 
     #[test]

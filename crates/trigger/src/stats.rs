@@ -18,8 +18,21 @@ pub struct TriggerStats {
     nodes_visited: Counter,
     /// Crash/restart recoveries completed ([`recoveries`](TriggerStats::record_recovery)).
     recoveries: Counter,
+    /// Hot pages pushed to the hybrid policy's deferred queue (regen
+    /// budget exhausted for the batch).
+    pages_deferred: Counter,
+    /// Modeled regeneration CPU actually spent, in milliseconds.
+    regen_cpu_ms: Counter,
+    /// Modeled regeneration CPU avoided by invalidating cold pages
+    /// instead of rerendering them, in milliseconds.
+    regen_saved_ms: Counter,
     /// Processing latency in seconds, 1 µs .. 600 s buckets.
     latency: HistogramHandle,
+    /// Traffic-weighted staleness in seconds: one sample per request that
+    /// found its page stale-or-missing due to propagation, valued at how
+    /// long the page had been stale. Hot pages sample often, cold pages
+    /// rarely — exactly the weighting the hybrid split optimises for.
+    weighted_staleness: HistogramHandle,
 }
 
 impl Default for TriggerStats {
@@ -31,7 +44,13 @@ impl Default for TriggerStats {
             pages_tolerated: Counter::new(),
             nodes_visited: Counter::new(),
             recoveries: Counter::new(),
+            pages_deferred: Counter::new(),
+            regen_cpu_ms: Counter::new(),
+            regen_saved_ms: Counter::new(),
             latency: HistogramHandle::for_latency(),
+            // 1 ms .. ~55 h staleness buckets: marks survive at most a
+            // day-scale outage, requests observe them at minute scale.
+            weighted_staleness: HistogramHandle::new(1e-3, 200_000.0),
         }
     }
 }
@@ -52,6 +71,18 @@ pub struct TriggerStatsSnapshot {
     pub nodes_visited: u64,
     /// Crash/restart recoveries completed.
     pub recoveries: u64,
+    /// Hot pages deferred past the hybrid regeneration budget.
+    pub pages_deferred: u64,
+    /// Modeled regeneration CPU spent, in milliseconds.
+    pub regen_cpu_ms: u64,
+    /// Modeled regeneration CPU avoided via cold-page invalidation, in
+    /// milliseconds.
+    pub regen_saved_ms: u64,
+    /// Traffic-weighted staleness samples (requests that observed a
+    /// stale-or-missing page).
+    pub weighted_staleness_count: u64,
+    /// Sum of observed staleness over those samples, in seconds.
+    pub weighted_staleness_sum_secs: f64,
     /// Freshness samples recorded.
     pub latency_count: u64,
     /// Mean processing latency in milliseconds (exact).
@@ -105,6 +136,34 @@ impl TriggerStats {
         self.recoveries.incr();
     }
 
+    /// Record modeled regeneration CPU actually spent (milliseconds).
+    pub fn record_regen_cpu(&self, ms: f64) {
+        self.regen_cpu_ms.add(ms.round() as u64);
+    }
+
+    /// Record modeled regeneration CPU avoided by invalidating instead of
+    /// rerendering (milliseconds).
+    pub fn record_regen_saved(&self, ms: f64) {
+        self.regen_saved_ms.add(ms.round() as u64);
+    }
+
+    /// Record hot pages pushed to the deferred queue.
+    pub fn record_deferred(&self, pages: u64) {
+        self.pages_deferred.add(pages);
+    }
+
+    /// Record pages regenerated outside a transaction record (the
+    /// deferred-queue drain path).
+    pub fn record_drained_regen(&self, pages: u64) {
+        self.pages_regenerated.add(pages);
+    }
+
+    /// Record one request observing a page `secs` stale (traffic-weighted
+    /// staleness sample).
+    pub fn record_weighted_staleness(&self, secs: f64) {
+        self.weighted_staleness.record(secs);
+    }
+
     /// The live latency distribution (seconds), for binding or direct
     /// percentile queries.
     pub fn latency_histogram(&self) -> HistogramHandle {
@@ -137,13 +196,34 @@ impl TriggerStats {
             &self.nodes_visited,
         );
         registry.bind_counter("nagano_trigger_recoveries_total", labels, &self.recoveries);
+        registry.bind_counter(
+            "nagano_trigger_pages_deferred_total",
+            labels,
+            &self.pages_deferred,
+        );
+        registry.bind_counter(
+            "nagano_trigger_regen_cpu_ms_total",
+            labels,
+            &self.regen_cpu_ms,
+        );
+        registry.bind_counter(
+            "nagano_trigger_regen_saved_ms_total",
+            labels,
+            &self.regen_saved_ms,
+        );
         registry.bind_histogram("nagano_trigger_latency_seconds", labels, &self.latency);
+        registry.bind_histogram(
+            "nagano_trigger_weighted_staleness_seconds",
+            labels,
+            &self.weighted_staleness,
+        );
     }
 
     /// Copy the counters and summarise the latency distribution.
     pub fn snapshot(&self) -> TriggerStatsSnapshot {
         let count = self.latency.count();
         let ms = |secs: f64| if secs.is_finite() { secs * 1e3 } else { 0.0 };
+        let staleness_count = self.weighted_staleness.count();
         TriggerStatsSnapshot {
             txns: self.txns.get(),
             pages_regenerated: self.pages_regenerated.get(),
@@ -151,6 +231,15 @@ impl TriggerStats {
             pages_tolerated: self.pages_tolerated.get(),
             nodes_visited: self.nodes_visited.get(),
             recoveries: self.recoveries.get(),
+            pages_deferred: self.pages_deferred.get(),
+            regen_cpu_ms: self.regen_cpu_ms.get(),
+            regen_saved_ms: self.regen_saved_ms.get(),
+            weighted_staleness_count: staleness_count,
+            weighted_staleness_sum_secs: if staleness_count == 0 {
+                0.0
+            } else {
+                self.weighted_staleness.mean() * staleness_count as f64
+            },
             latency_count: count,
             mean_ms: if count == 0 {
                 0.0
@@ -201,6 +290,38 @@ mod tests {
         assert_eq!(s.snapshot().recoveries, 2);
         let text = prometheus_text(&reg);
         assert!(text.contains("nagano_trigger_recoveries_total{site=\"tokyo\"} 2"));
+    }
+
+    #[test]
+    fn hybrid_metrics_accumulate_and_export() {
+        use nagano_telemetry::{prometheus_text, MetricsRegistry};
+        let reg = MetricsRegistry::new();
+        let s = TriggerStats::default();
+        s.bind(&reg, &[("site", "tokyo")]);
+        s.record_regen_cpu(120.4);
+        s.record_regen_saved(80.6);
+        s.record_deferred(3);
+        s.record_drained_regen(2);
+        s.record_weighted_staleness(30.0);
+        s.record_weighted_staleness(90.0);
+        let snap = s.snapshot();
+        assert_eq!(snap.regen_cpu_ms, 120);
+        assert_eq!(snap.regen_saved_ms, 81);
+        assert_eq!(snap.pages_deferred, 3);
+        assert_eq!(snap.pages_regenerated, 2);
+        assert_eq!(snap.weighted_staleness_count, 2);
+        // The sum is mean * count; the log-bucketed histogram makes it
+        // approximate, not exact.
+        assert!(
+            (snap.weighted_staleness_sum_secs - 120.0).abs() / 120.0 < 0.1,
+            "sum {}",
+            snap.weighted_staleness_sum_secs
+        );
+        let text = prometheus_text(&reg);
+        assert!(text.contains("nagano_trigger_regen_saved_ms_total{site=\"tokyo\"} 81"));
+        assert!(text.contains("nagano_trigger_regen_cpu_ms_total{site=\"tokyo\"} 120"));
+        assert!(text.contains("nagano_trigger_pages_deferred_total{site=\"tokyo\"} 3"));
+        assert!(text.contains("nagano_trigger_weighted_staleness_seconds_count{site=\"tokyo\"} 2"));
     }
 
     #[test]

@@ -248,6 +248,19 @@ impl RequestModel {
         self.registry.pages()[idx].0
     }
 
+    /// Unnormalised per-page popularity weights on `day` (static registry
+    /// weight × day-of-games modifier), in registry order. This is the
+    /// distribution [`RequestModel::sample_page`] draws from outside spike
+    /// windows; the `hybrid` experiment uses it to report how much request
+    /// traffic the hottest fraction of pages captures.
+    pub fn popularity_weights(&self, day: u32) -> Vec<(PageKey, f64)> {
+        self.registry
+            .pages()
+            .iter()
+            .map(|(key, meta)| (*key, meta.weight * day_modifier(*key, day)))
+            .collect()
+    }
+
     fn day_table(&self, day: u32) -> Arc<DayTable> {
         let mut tables = self.day_tables.lock();
         Arc::clone(tables.entry(day).or_insert_with(|| {

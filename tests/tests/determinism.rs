@@ -104,6 +104,54 @@ fn same_seed_chaos_runs_export_byte_identical_telemetry() {
     }
 }
 
+/// Like [`run_exporting`], but under the hotness-aware Hybrid policy on
+/// the update-dense day 10: EWMA folds, priority ranking, budget
+/// deferral, and drain ticks are all on the deterministic surface.
+fn run_hybrid_exporting(seed: u64, tag: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join("determinism")
+        .join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    ClusterSim::new(ClusterConfig {
+        scale: 20_000.0,
+        seed,
+        games: GamesConfig::small(),
+        start_day: 10,
+        end_day: 10,
+        policy: nagano_trigger::ConsistencyPolicy::hybrid(0.5, Some(400)),
+        export_dir: Some(dir.clone()),
+        ..Default::default()
+    })
+    .run();
+    dir
+}
+
+#[test]
+fn same_seed_hybrid_runs_export_byte_identical_telemetry() {
+    let a = run_hybrid_exporting(42, "hybrid42_a");
+    let b = run_hybrid_exporting(42, "hybrid42_b");
+    for name in EXPORTS {
+        let left = std::fs::read(a.join(name)).unwrap_or_else(|e| panic!("read {name}: {e}"));
+        let right = std::fs::read(b.join(name)).unwrap_or_else(|e| panic!("read {name}: {e}"));
+        assert!(!left.is_empty(), "{name} must not be empty");
+        assert_eq!(
+            left, right,
+            "{name} differs between two same-seed Hybrid runs — the \
+             hotness scheduler leaked nondeterminism into telemetry"
+        );
+    }
+    // The scheduler's own metrics are part of the exported surface.
+    let prom = std::fs::read_to_string(a.join("metrics.prom")).expect("read hybrid metrics.prom");
+    for metric in [
+        "nagano_trigger_regen_saved_ms_total",
+        "nagano_trigger_regen_cpu_ms_total",
+        "nagano_trigger_pages_deferred_total",
+        "nagano_trigger_weighted_staleness_seconds",
+    ] {
+        assert!(prom.contains(metric), "{metric} missing from hybrid export");
+    }
+}
+
 #[test]
 fn different_seeds_actually_change_the_exports() {
     // Guard against the vacuous version of the test above: if the

@@ -127,6 +127,41 @@ fn fig22_shows_the_us_anomaly() {
 }
 
 #[test]
+fn hybrid_sweep_trades_cpu_for_staleness() {
+    let result = run_experiment("hybrid", &quick()).unwrap();
+    let rows = result.json["rows"].as_array().unwrap();
+    assert_eq!(rows.len(), 5);
+    // Acceptance: hot_fraction 0.5 spends less regen CPU than
+    // update-in-place while staying fresher than pure invalidation.
+    assert_eq!(result.json["checks"]["cpu_below_uip"].as_bool(), Some(true));
+    assert_eq!(
+        result.json["checks"]["staleness_below_invalidate"].as_bool(),
+        Some(true)
+    );
+    // Regen CPU grows with the hot fraction; traffic capture is monotone.
+    let cpu: Vec<u64> = rows
+        .iter()
+        .map(|r| r["regen_cpu_ms"].as_u64().unwrap())
+        .collect();
+    for w in cpu.windows(2) {
+        assert!(
+            w[1] >= w[0],
+            "regen CPU must grow with hot fraction: {cpu:?}"
+        );
+    }
+    let capture: Vec<f64> = rows
+        .iter()
+        .map(|r| r["traffic_captured_pct"].as_f64().unwrap())
+        .collect();
+    for w in capture.windows(2) {
+        assert!(w[1] >= w[0] - 1e-9, "capture monotone: {capture:?}");
+    }
+    // The endpoints behave like the pure policies they degenerate to.
+    assert!(rows[4]["hit_rate"].as_f64().unwrap() >= rows[0]["hit_rate"].as_f64().unwrap());
+    assert!(result.verdict.contains("acceptance checks hold"));
+}
+
+#[test]
 fn staleness_threshold_saves_work_monotonically() {
     let result = run_experiment("staleness", &quick()).unwrap();
     let rows = result.json["rows"].as_array().unwrap();
