@@ -1,0 +1,216 @@
+//! Offline compat shim for `criterion`: a minimal benchmark harness with
+//! the same macro and builder surface the workspace benches use
+//! (`criterion_group!` / `criterion_main!` / `benchmark_group` /
+//! `bench_function` / `BenchmarkId` / `Bencher::iter`). It runs each
+//! closure for a short, fixed wall-clock window and prints mean
+//! nanoseconds per iteration — enough to compare runs by hand, with none
+//! of criterion's statistics machinery.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver handed to each `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Parse CLI arguments (accepted and ignored by this shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("# group {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            measurement: Duration::from_millis(300),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, Duration::from_millis(300), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement = time;
+        self
+    }
+
+    /// Warm-up time (accepted and ignored; the shim folds warm-up into the
+    /// measurement window).
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sample count (accepted and ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Throughput annotation (accepted and ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.measurement, f);
+        self
+    }
+
+    /// Finish the group (prints a terminator line).
+    pub fn finish(self) {
+        println!("# group {} done", self.name);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, window: Duration, mut f: F) {
+    let mut bencher = Bencher {
+        window,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = if bencher.iters == 0 {
+        0.0
+    } else {
+        bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+    };
+    println!("bench {label}: {per_iter:.1} ns/iter ({} iters)", bencher.iters);
+}
+
+/// Timer handed to each benchmark closure; call [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    window: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly for the measurement window, timing it.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            // Check the clock in batches to keep timer overhead low.
+            if iters % 64 == 0 && start.elapsed() >= self.window {
+                break;
+            }
+            if iters >= 10_000_000 {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark identifier: a function name plus a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId { text: format!("{name}/{parameter}") }
+    }
+
+    /// Identifier that is only a parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Conversion into a printable benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// Render the identifier text.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation (accepted and ignored by this shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(dummy: T) -> T {
+    std::hint::black_box(dummy)
+}
+
+/// Define a benchmark group function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,175 @@
+//! Offline compat shim for `parking_lot`: `Mutex` and `RwLock` with the
+//! poison-free API, implemented over `std::sync`. A poisoned std lock is
+//! recovered with `into_inner()` on the poison error, matching parking_lot's
+//! "poisoning does not exist" semantics.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A mutual-exclusion lock whose `lock()` never returns a poison error.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create an unlocked mutex holding `t`.
+    pub const fn new(t: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(t) }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|p| p.into_inner()),
+        }
+    }
+
+    /// Acquire the lock only if it is free right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                Some(MutexGuard { inner: p.into_inner() })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// A reader-writer lock whose `read()`/`write()` never return poison errors.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// RAII shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// RAII exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create an unlocked lock holding `t`.
+    pub const fn new(t: T) -> Self {
+        RwLock { inner: std::sync::RwLock::new(t) }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|p| p.into_inner()),
+        }
+    }
+
+    /// Acquire exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|p| p.into_inner()),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// One-time initialization flag (subset of parking_lot::Once).
+#[derive(Default)]
+pub struct Once {
+    done: AtomicBool,
+    gate: std::sync::Mutex<()>,
+}
+
+impl Once {
+    /// A fresh, unfired Once.
+    pub const fn new() -> Self {
+        Once { done: AtomicBool::new(false), gate: std::sync::Mutex::new(()) }
+    }
+
+    /// Run `f` exactly once across all callers.
+    pub fn call_once<F: FnOnce()>(&self, f: F) {
+        if self.done.load(Ordering::Acquire) {
+            return;
+        }
+        let _g = self.gate.lock().unwrap_or_else(|p| p.into_inner());
+        if !self.done.load(Ordering::Acquire) {
+            f();
+            self.done.store(true, Ordering::Release);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline compat shim for `rayon`: `par_iter()` runs **sequentially**.
+//!
+//! The workspace uses rayon only for embarrassingly parallel page
+//! regeneration (`keys.par_iter().map(render).collect()`), where the
+//! sequential result is identical — and, as a bonus, trivially
+//! deterministic. `par_iter()` here simply yields the standard slice
+//! iterator, so every `Iterator` adaptor keeps working unchanged.
+
+pub mod prelude {
+    //! Import surface mirroring `rayon::prelude::*`.
+
+    /// `&'data self -> par_iter()` — sequential stand-in returning the
+    /// ordinary iterator for the collection.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item yielded by the iterator.
+        type Item: 'data;
+        /// Sequential stand-in for rayon's parallel iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `into_par_iter()` — sequential stand-in for owned collections.
+    pub trait IntoParallelIterator {
+        /// The iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item yielded by the iterator.
+        type Item;
+        /// Sequential stand-in for rayon's parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}

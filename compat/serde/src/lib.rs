@@ -1,0 +1,339 @@
+//! Offline compat shim for `serde`: a self-describing content-tree data
+//! model instead of the visitor machinery.
+//!
+//! [`Serialize`] renders a value into a [`Content`] tree; [`Deserialize`]
+//! rebuilds a value from one. The companion `serde_derive` shim generates
+//! both impls for plain structs and enums, and the `serde_json` shim
+//! converts `Content` to and from JSON text. The encoding conventions
+//! mirror serde's defaults (externally tagged enums, transparent newtype
+//! structs, maps in field-declaration order) so JSON produced here looks
+//! like what the real crates would emit for the same types.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing serialized value: the intermediate tree every
+/// [`Serialize`] impl produces and every [`Deserialize`] impl consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (array / tuple).
+    Seq(Vec<Content>),
+    /// Map with string keys, kept in insertion order (struct field order).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Map entries, when this content is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Sequence elements, when this content is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Look up `key` in a map by linear scan (maps are small field lists).
+    pub fn get_field(&self, key: &str) -> Option<&Content> {
+        self.as_map()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Short human label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Error raised while rebuilding a value from a [`Content`] tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with the given message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error { msg: msg.to_string() }
+    }
+
+    /// Type-mismatch error: wanted one kind of content, got another.
+    pub fn expected(what: &str, got: &Content) -> Self {
+        Error::custom(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` into a [`Content`] tree.
+pub trait Serialize {
+    /// Build the content tree for this value.
+    fn to_content(&self) -> Content;
+}
+
+/// Rebuild `Self` from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parse this value out of a content tree.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let n = match content {
+                    Content::U64(n) => *n,
+                    Content::I64(n) if *n >= 0 => *n as u64,
+                    other => return Err(Error::expected("unsigned integer", other)),
+                };
+                <$ty>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{} out of range for {}", n, stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let n: i64 = match content {
+                    Content::I64(n) => *n,
+                    Content::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom("integer too large"))?,
+                    other => return Err(Error::expected("integer", other)),
+                };
+                <$ty>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{} out of range for {}", n, stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::F64(x) => Ok(*x as $ty),
+                    Content::U64(n) => Ok(*n as $ty),
+                    Content::I64(n) => Ok(*n as $ty),
+                    other => Err(Error::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::expected("single-character string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let items = content
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", content))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_content).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let items = content
+                    .as_seq()
+                    .ok_or_else(|| Error::expected("tuple sequence", content))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {expected}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}

@@ -31,6 +31,8 @@ pub fn fig18(config: &ExpConfig) -> ExpResult {
         SITE_NAMES[2],
         SITE_NAMES[3],
     ]);
+    // `h` indexes four parallel per-site vectors, not one iterable.
+    #[allow(clippy::needless_range_loop)]
     for h in 0..24 {
         table.row([
             format!("{h:02}:00"),

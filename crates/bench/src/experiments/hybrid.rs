@@ -48,20 +48,6 @@ fn traffic_capture(weights: &[f64], fraction: f64) -> f64 {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::traffic_capture;
-
-    #[test]
-    fn capture_endpoints_and_monotonicity() {
-        let w = [3.0, 2.0, 1.0, 0.0];
-        assert_eq!(traffic_capture(&w, 0.0), 0.0);
-        assert_eq!(traffic_capture(&w, 1.0), 100.0);
-        assert!(traffic_capture(&w, 0.5) > traffic_capture(&w, 0.25));
-        assert_eq!(traffic_capture(&[], 0.5), 0.0);
-    }
-}
-
 /// The comparison fields of a pure-policy reference run.
 fn reference_json(report: &nagano_cluster::ClusterReport) -> serde_json::Value {
     json!({
@@ -178,5 +164,19 @@ pub fn hybrid(config: &ExpConfig) -> ExpResult {
             }),
         }),
         verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::traffic_capture;
+
+    #[test]
+    fn capture_endpoints_and_monotonicity() {
+        let w = [3.0, 2.0, 1.0, 0.0];
+        assert_eq!(traffic_capture(&w, 0.0), 0.0);
+        assert_eq!(traffic_capture(&w, 1.0), 100.0);
+        assert!(traffic_capture(&w, 0.5) > traffic_capture(&w, 0.25));
+        assert_eq!(traffic_capture(&[], 0.5), 0.0);
     }
 }

@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod caching;
 pub mod figures;
 pub mod hybrid;
+pub mod slo;
 pub mod systems;
 pub mod tables;
 
@@ -44,6 +45,7 @@ pub fn cluster_config(config: &ExpConfig, policy: ConsistencyPolicy) -> ClusterC
         export_dir: Some(
             std::path::PathBuf::from("target/experiments/telemetry").join(policy.slug()),
         ),
+        slo_rules: ClusterConfig::default_slo_rules(),
         audit_convergence: false,
     }
 }

@@ -28,6 +28,7 @@
 //! | `nav` | 1996 vs 1998 page-structure navigation cost |
 //! | `regen` | pages regenerated per day |
 //! | `hybrid` | hotness-aware hybrid propagation sweep (regen CPU vs weighted staleness) |
+//! | `slo` | freshness SLO verdicts + lineage-derived update-to-serve percentiles by policy |
 //! | `staleness` | ablation: weighted staleness threshold |
 //! | `batching` | ablation: coalesced trigger processing |
 //! | `shift` | ablation: MSIRP 8⅓% traffic shifting |
@@ -102,7 +103,7 @@ impl ExpResult {
 }
 
 /// All experiment ids in canonical order.
-pub const ALL_EXPERIMENTS: [&str; 25] = [
+pub const ALL_EXPERIMENTS: [&str; 26] = [
     "fig18",
     "fig20",
     "fig21",
@@ -120,6 +121,7 @@ pub const ALL_EXPERIMENTS: [&str; 25] = [
     "nav",
     "regen",
     "hybrid",
+    "slo",
     "staleness",
     "batching",
     "shift",
@@ -151,6 +153,7 @@ pub fn run_experiment(id: &str, config: &ExpConfig) -> Option<ExpResult> {
         "nav" => e::systems::nav(config),
         "regen" => e::systems::regen(config),
         "hybrid" => e::hybrid::hybrid(config),
+        "slo" => e::slo::slo(config),
         "staleness" => e::ablations::staleness(config),
         "batching" => e::ablations::batching(config),
         "shift" => e::ablations::shift(config),

@@ -89,7 +89,7 @@ impl HotnessTracker {
                 }
             }
         }
-        if minute % PRUNE_EVERY_MINUTES == 0 {
+        if minute.is_multiple_of(PRUNE_EVERY_MINUTES) {
             cells.retain(|_, c| c.decayed(minute, alpha) >= PRUNE_EPSILON);
         }
     }

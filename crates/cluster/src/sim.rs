@@ -18,7 +18,10 @@ use nagano_simcore::{
     DeterministicRng, EventQueue, Histogram, LinkClass, LinkModel, SimDuration, SimTime,
     TimeSeries, Welford,
 };
-use nagano_telemetry::{json_snapshot, prometheus_text, Counter, Telemetry, Trace, TraceKind};
+use nagano_telemetry::{
+    json_snapshot, prometheus_text, slo_json, Counter, SloEngine, SloOutcome, SloRule, Telemetry,
+    Trace, TraceKind,
+};
 use nagano_trigger::{ConsistencyPolicy, TriggerMonitor};
 use nagano_workload::{Region, RequestModel, UpdateSchedule};
 
@@ -73,9 +76,16 @@ pub struct ClusterConfig {
     pub updates_on_serving_nodes: bool,
     /// When set, hourly telemetry flush events write per-hour registry
     /// snapshots (`telemetry_hourly.jsonl`) plus final `metrics.prom` /
-    /// `metrics.json` exports into this directory (typically
-    /// `target/experiments/`). `None` disables all file output.
+    /// `metrics.json` / `traces.jsonl` / `slo.json` exports into this
+    /// directory (typically `target/experiments/`). `None` disables all
+    /// file output.
     pub export_dir: Option<PathBuf>,
+    /// Service-level objectives evaluated over the run, one rule per line
+    /// in the [`SloRule`] syntax (`name: 99% of <metric> < 30`,
+    /// `name: p99 of <metric> < 60`). Burn rates are tracked over hourly
+    /// sim-time snapshots; verdicts land in [`ClusterReport::slo`] and the
+    /// `slo.json` export. Defaults to [`ClusterConfig::default_slo_rules`].
+    pub slo_rules: Vec<String>,
     /// After the run, re-render every registry page and compare against
     /// each site's cache fleet, counting mismatches into
     /// [`ClusterReport::stale_pages`]. Off by default (it costs one full
@@ -97,8 +107,21 @@ impl Default for ClusterConfig {
             us_congestion: (7, 9, 1.45),
             updates_on_serving_nodes: false,
             export_dir: None,
+            slo_rules: ClusterConfig::default_slo_rules(),
             audit_convergence: false,
         }
+    }
+}
+
+impl ClusterConfig {
+    /// The stock objectives: the paper's 60-second propagation bound,
+    /// both as a good-fraction rule (burn-rate tracked) and a percentile
+    /// rule over the same freshness histogram.
+    pub fn default_slo_rules() -> Vec<String> {
+        vec![
+            "fresh-60s: 99% of nagano_cluster_freshness_seconds < 60".to_string(),
+            "fresh-p99: p99 of nagano_cluster_freshness_seconds < 60".to_string(),
+        ]
     }
 }
 
@@ -179,6 +202,14 @@ pub struct ClusterReport {
     pub freshness_hist: Histogram,
     /// Worst-case freshness in seconds.
     pub freshness_max: f64,
+    /// End-to-end update-to-serve distribution (seconds): master commit →
+    /// the first request at each site that serves a page the update
+    /// touched in its fresh state. The root-to-leaf duration of a
+    /// completed propagation trace lands here, one sample per site.
+    pub update_to_serve: Histogram,
+    /// Final SLO verdicts (with any burn-rate alerts that fired during
+    /// the run), one per rule in [`ClusterConfig::slo_rules`].
+    pub slo: Vec<SloOutcome>,
     /// Transactions applied at sites.
     pub updates_applied: u64,
     /// Transactions dropped by faulted replication links.
@@ -373,6 +404,26 @@ pub fn random_soak_plan(
 /// sample is not phase-locked to any per-minute request pattern).
 const SERVING_TRACE_SAMPLE: u64 = 199;
 
+/// An in-flight update-lineage tree for one master transaction: rooted at
+/// `nagano_cluster_txn_receipt`, it gains a distribute → traversal →
+/// apply chain per site and closes each site's branch with a
+/// `nagano_cache_first_fresh_hit` leaf when a request first serves a page
+/// the transaction touched. The trace completes (and is pushed into the
+/// propagation ring) once every site has both applied and served; updates
+/// still waiting at the horizon flush in transaction order.
+struct PendingTrace {
+    trace: Trace,
+    /// Index of the `nagano_cluster_txn_receipt` root span.
+    root: usize,
+    /// Sites that have applied the transaction.
+    applied: usize,
+    /// Per-site: a fresh serve has been observed.
+    served: [bool; 4],
+    /// Per-site index of the `nagano_cache_apply` span, the parent for
+    /// that site's first-fresh-hit leaf.
+    apply_span: [Option<usize>; 4],
+}
+
 /// The simulation driver.
 pub struct ClusterSim {
     config: ClusterConfig,
@@ -445,6 +496,14 @@ impl ClusterSim {
             telemetry
                 .registry
                 .histogram("nagano_cluster_freshness_seconds", &[], 1e-3, 600.0);
+        // Wide range: a cold page's first fresh serve can trail the
+        // commit by hours of simulated time.
+        let update_to_serve_hist = telemetry.registry.histogram(
+            "nagano_cluster_update_to_serve_seconds",
+            &[],
+            1e-3,
+            2_000_000.0,
+        );
         let retries_total = telemetry
             .registry
             .counter("nagano_cluster_retries_total", &[]);
@@ -536,6 +595,8 @@ impl ClusterSim {
             freshness: Welford::new(),
             freshness_hist: Histogram::new(1e-3, 600.0),
             freshness_max: 0.0,
+            update_to_serve: Histogram::new(1e-3, 2_000_000.0),
+            slo: Vec::new(),
             updates_applied: 0,
             replication_dropped: 0,
             replication_duplicates: 0,
@@ -565,7 +626,15 @@ impl ClusterSim {
         for (i, f) in cfg.fault_plan.iter().enumerate() {
             queue.schedule(f.at, SimEvent::DataFault(i));
         }
-        if cfg.export_dir.is_some() {
+        // SLO rules are authored in code; a malformed line is a bug, not
+        // a runtime condition.
+        let mut slo_engine = SloEngine::new(
+            cfg.slo_rules
+                .iter()
+                .map(|line| SloRule::parse(line).expect("invalid ClusterConfig SLO rule"))
+                .collect(),
+        );
+        if cfg.export_dir.is_some() || !slo_engine.is_empty() {
             let start_hour = (cfg.start_day as u64 - 1) * 24;
             let end_hour = cfg.end_day as u64 * 24;
             for hour in (start_hour + 1)..=end_hour {
@@ -573,8 +642,14 @@ impl ClusterSim {
             }
         }
 
-        // Propagation traces in flight: txn id → (trace, sites applied).
-        let mut pending_traces: FxHashMap<TxnId, (Trace, usize)> = FxHashMap::default();
+        // Update-lineage trees in flight, by transaction.
+        let mut pending_traces: FxHashMap<TxnId, PendingTrace> = FxHashMap::default();
+        // Per-site: pages an update refreshed (regenerated or invalidated)
+        // whose first subsequent fresh serve has not been observed yet →
+        // the owning transaction. Newer writes overwrite older claims.
+        let mut fresh_waiting: Vec<FxHashMap<PageKey, TxnId>> =
+            (0..SITES.len()).map(|_| FxHashMap::default()).collect();
+        let hybrid_policy = matches!(cfg.policy, ConsistencyPolicy::Hybrid(_));
         // Per-hour registry snapshots, written out after the run.
         let mut hourly_snapshots: Vec<String> = Vec::new();
 
@@ -603,8 +678,18 @@ impl ClusterSim {
                         debug_assert_eq!(txn.id.0 as usize, commit_times.len() + 1);
                         commit_times.push(at);
                         let mut trace = Trace::new(TraceKind::Propagation, txn.id.0);
-                        trace.span_with("txn_receipt", txn.label.clone(), at, at);
-                        pending_traces.insert(txn.id, (trace, 0));
+                        let root =
+                            trace.add_span("nagano_cluster_txn_receipt", txn.label.clone(), at, at);
+                        pending_traces.insert(
+                            txn.id,
+                            PendingTrace {
+                                trace,
+                                root,
+                                applied: 0,
+                                served: [false; 4],
+                                apply_span: [None; 4],
+                            },
+                        );
                         // Ship over the two master-fed edges; the chained
                         // edges fan out when Schaumburg applies.
                         for edge in [0, 1] {
@@ -630,6 +715,11 @@ impl ClusterSim {
                                 // While the monitor is down the replica still
                                 // advances its log; DUP runs at recovery.
                                 if monitor_up[s] {
+                                    let shed_before = if hybrid_policy {
+                                        monitors[s].stats().snapshot().deferred_shed
+                                    } else {
+                                        0
+                                    };
                                     let outcome = monitors[s].process_txn_at(&txn, at);
                                     last_apply_minute[s] = at.minute_index() as i64;
                                     let day_idx = at.day().min(cfg.end_day) as usize - 1;
@@ -660,39 +750,82 @@ impl ClusterSim {
                                     freshness_hist.record(visible.as_secs_f64());
                                     report.freshness_max =
                                         report.freshness_max.max(visible.as_secs_f64());
-                                    if let Some((trace, applied)) = pending_traces.get_mut(&txn.id)
-                                    {
+                                    if let Some(p) = pending_traces.get_mut(&txn.id) {
                                         let site = SITES[s].name;
-                                        trace
-                                            .span_with(
-                                                "distribute",
-                                                format!("site={site}"),
-                                                commit_at,
-                                                at,
-                                            )
-                                            .span_with(
-                                                "odg_traversal",
-                                                format!("site={site} visited={}", outcome.visited),
-                                                at,
-                                                at,
-                                            )
-                                            .span_with(
-                                                "cache_apply",
+                                        let dist = p.trace.add_child(
+                                            p.root,
+                                            "nagano_cluster_distribute",
+                                            format!("site={site}"),
+                                            commit_at,
+                                            at,
+                                        );
+                                        let odg = p.trace.add_child(
+                                            dist,
+                                            "nagano_odg_traversal",
+                                            format!("site={site} visited={}", outcome.visited),
+                                            at,
+                                            at,
+                                        );
+                                        let apply = p.trace.add_child(
+                                            odg,
+                                            "nagano_cache_apply",
+                                            format!(
+                                                "site={site} regenerated={} invalidated={} tolerated={}",
+                                                outcome.regenerated.len(),
+                                                outcome.invalidated.len(),
+                                                outcome.tolerated.len()
+                                            ),
+                                            at,
+                                            applied_at,
+                                        );
+                                        if hybrid_policy {
+                                            p.trace.add_child(
+                                                apply,
+                                                "nagano_trigger_rank",
                                                 format!(
-                                                    "site={site} regenerated={} invalidated={} tolerated={}",
-                                                    outcome.regenerated.len(),
-                                                    outcome.invalidated.len(),
-                                                    outcome.tolerated.len()
+                                                    "site={site} hot={} cold={}",
+                                                    outcome.regenerated.len()
+                                                        + outcome.deferred.len(),
+                                                    outcome.invalidated.len()
                                                 ),
                                                 at,
-                                                applied_at,
+                                                at,
                                             );
-                                        *applied += 1;
-                                        if *applied == SITES.len() {
-                                            let (trace, _) = pending_traces
-                                                .remove(&txn.id)
-                                                .expect("trace present");
-                                            telemetry.propagation.push(trace);
+                                            if !outcome.deferred.is_empty() {
+                                                p.trace.add_child(
+                                                    apply,
+                                                    "nagano_trigger_defer",
+                                                    format!(
+                                                        "site={site} pages={}",
+                                                        outcome.deferred.len()
+                                                    ),
+                                                    at,
+                                                    at,
+                                                );
+                                            }
+                                            let shed = monitors[s]
+                                                .stats()
+                                                .snapshot()
+                                                .deferred_shed
+                                                .saturating_sub(shed_before);
+                                            if shed > 0 {
+                                                p.trace.add_child(
+                                                    apply,
+                                                    "nagano_trigger_shed",
+                                                    format!("site={site} pages={shed}"),
+                                                    at,
+                                                    at,
+                                                );
+                                            }
+                                        }
+                                        p.apply_span[s] = Some(apply);
+                                        p.applied += 1;
+                                        for &k in outcome
+                                            .regenerated
+                                            .iter()
+                                            .chain(outcome.invalidated.iter())
+                                        {
+                                            fresh_waiting[s].insert(k, txn.id);
                                         }
                                     }
                                 }
@@ -808,6 +941,43 @@ impl ClusterSim {
                                     let day_idx = applied_at.day().min(cfg.end_day) as usize - 1;
                                     report.regen_per_day[day_idx] +=
                                         outcome.regenerated.len() as u64;
+                                    // Lineage under faults: these txns
+                                    // reached the site by pull, and the
+                                    // batch DUP pass is attributed to the
+                                    // newest of them (its write wins).
+                                    let site = SITES[s].name;
+                                    for txn in &missed {
+                                        if let Some(p) = pending_traces.get_mut(&txn.id) {
+                                            let commit_at = commit_times[txn.id.0 as usize - 1];
+                                            let dist = p.trace.add_child(
+                                                p.root,
+                                                "nagano_cluster_distribute",
+                                                format!("site={site} via=catch-up"),
+                                                commit_at,
+                                                applied_at,
+                                            );
+                                            let apply = p.trace.add_child(
+                                                dist,
+                                                "nagano_cache_apply",
+                                                format!("site={site} via=catch-up"),
+                                                applied_at,
+                                                applied_at,
+                                            );
+                                            p.apply_span[s] = Some(apply);
+                                            p.applied += 1;
+                                        }
+                                    }
+                                    if let Some(last) = missed.last() {
+                                        if pending_traces.contains_key(&last.id) {
+                                            for &k in outcome
+                                                .regenerated
+                                                .iter()
+                                                .chain(outcome.invalidated.iter())
+                                            {
+                                                fresh_waiting[s].insert(k, last.id);
+                                            }
+                                        }
+                                    }
                                 }
                                 if s == 0 {
                                     for txn in &missed {
@@ -879,6 +1049,42 @@ impl ClusterSim {
                                     let day_idx = at.day().min(cfg.end_day) as usize - 1;
                                     report.regen_per_day[day_idx] +=
                                         outcome.regenerated.len() as u64;
+                                    // Lineage: the replica already held the
+                                    // log tail (distribution happened while
+                                    // the monitor was down); recovery is the
+                                    // DUP replay that makes caches catch up.
+                                    let site_name = SITES[site].name;
+                                    for txn in &missed {
+                                        if let Some(p) = pending_traces.get_mut(&txn.id) {
+                                            let odg = p.trace.add_child(
+                                                p.root,
+                                                "nagano_odg_traversal",
+                                                format!("site={site_name} via=recovery"),
+                                                at,
+                                                at,
+                                            );
+                                            let apply = p.trace.add_child(
+                                                odg,
+                                                "nagano_cache_apply",
+                                                format!("site={site_name} via=recovery"),
+                                                at,
+                                                at,
+                                            );
+                                            p.apply_span[site] = Some(apply);
+                                            p.applied += 1;
+                                        }
+                                    }
+                                    if let Some(last) = missed.last() {
+                                        if pending_traces.contains_key(&last.id) {
+                                            for &k in outcome
+                                                .regenerated
+                                                .iter()
+                                                .chain(outcome.invalidated.iter())
+                                            {
+                                                fresh_waiting[site].insert(k, last.id);
+                                            }
+                                        }
+                                    }
                                     for txn in &missed {
                                         let staleness = (at - commit_times[txn.id.0 as usize - 1])
                                             .as_secs_f64();
@@ -902,10 +1108,13 @@ impl ClusterSim {
                     }
                     SimEvent::TelemetryFlush => {
                         let hour = at.minute_index() / 60;
-                        hourly_snapshots.push(format!(
-                            "{{\"hour\":{hour},\"snapshot\":{}}}",
-                            json_snapshot(&telemetry.registry)
-                        ));
+                        slo_engine.observe_hour(hour, &telemetry.registry);
+                        if cfg.export_dir.is_some() {
+                            hourly_snapshots.push(format!(
+                                "{{\"hour\":{hour},\"snapshot\":{}}}",
+                                json_snapshot(&telemetry.registry)
+                            ));
+                        }
                     }
                 }
             }
@@ -981,14 +1190,14 @@ impl ClusterSim {
                     report.failed_requests += 1;
                     failed_total.incr();
                     if let Some(mut trace) = trace {
-                        trace.span_with("route", "no-site", t_mid, t_mid);
+                        trace.span_with("nagano_cluster_route", "no-site", t_mid, t_mid);
                         telemetry.serving.push(trace);
                     }
                     continue;
                 };
-                if let Some(trace) = trace.as_mut() {
-                    trace.span_with(
-                        "route",
+                let route_idx = trace.as_mut().map(|tr| {
+                    tr.add_span(
+                        "nagano_cluster_route",
                         format!(
                             "region={} site={}",
                             sample.region.label(),
@@ -996,8 +1205,8 @@ impl ClusterSim {
                         ),
                         t_mid,
                         t_mid,
-                    );
-                }
+                    )
+                });
                 // Dispatcher picks a node (advisors skip dead ones); with
                 // a single logical cache per site the node only matters
                 // for load accounting.
@@ -1006,7 +1215,8 @@ impl ClusterSim {
                     failed_total.incr();
                     httpd_metrics[site.0].observe(503, 0);
                     if let Some(mut trace) = trace {
-                        trace.span_with("dispatch", "no-node", t_mid, t_mid);
+                        let route = route_idx.expect("sampled trace has a route span");
+                        trace.add_child(route, "nagano_cluster_dispatch", "no-node", t_mid, t_mid);
                         telemetry.serving.push(trace);
                     }
                     continue;
@@ -1040,16 +1250,63 @@ impl ClusterSim {
                 report.per_site_minute[site.0].incr(t_mid);
                 report.bytes_per_day[day_idx] += bytes as f64;
                 httpd_metrics[site.0].observe(200, bytes);
+
+                // Update-lineage leaf: the first request that serves one
+                // of an update's refreshed pages closes that site's branch
+                // of the propagation tree, and the commit → serve gap is
+                // the end-to-end freshness sample. Requests are generated
+                // at the minute midpoint, so a request can precede an
+                // apply recorded later in the same minute — leave the
+                // entry for the next request in that case.
+                if let Some(&txn_id) = fresh_waiting[site.0].get(&sample.page) {
+                    match pending_traces.get_mut(&txn_id) {
+                        Some(p) if !p.served[site.0] => {
+                            let apply = p.apply_span[site.0].unwrap_or(p.root);
+                            let apply_end = p.trace.spans[apply].end;
+                            if t_mid >= apply_end {
+                                fresh_waiting[site.0].remove(&sample.page);
+                                p.served[site.0] = true;
+                                let commit_at = commit_times[txn_id.0 as usize - 1];
+                                p.trace.add_child(
+                                    apply,
+                                    "nagano_cache_first_fresh_hit",
+                                    format!("site={} url={url}", SITES[site.0].name),
+                                    apply_end,
+                                    t_mid,
+                                );
+                                update_to_serve_hist.record((t_mid - commit_at).as_secs_f64());
+                                if p.applied == SITES.len() && p.served.iter().all(|&done| done) {
+                                    let p = pending_traces.remove(&txn_id).expect("pending trace");
+                                    telemetry.propagation.push(p.trace);
+                                }
+                            }
+                        }
+                        _ => {
+                            // The owning trace already served this site
+                            // through another page (or completed): the
+                            // claim is stale.
+                            fresh_waiting[site.0].remove(&sample.page);
+                        }
+                    }
+                }
+
                 if let Some(mut trace) = trace {
                     let done = t_mid + SimDuration::from_secs_f64(server_ms / 1_000.0);
-                    trace
-                        .span_with(
-                            "cache_lookup",
-                            if cache_hit { "hit" } else { "miss" },
-                            t_mid,
-                            t_mid,
-                        )
-                        .span_with("render", format!("url={url} bytes={bytes}"), t_mid, done);
+                    let route = route_idx.expect("sampled trace has a route span");
+                    let lookup = trace.add_child(
+                        route,
+                        "nagano_cache_lookup",
+                        if cache_hit { "hit" } else { "miss" },
+                        t_mid,
+                        t_mid,
+                    );
+                    trace.add_child(
+                        lookup,
+                        "nagano_pagegen_render",
+                        format!("url={url} bytes={bytes}"),
+                        t_mid,
+                        done,
+                    );
                     telemetry.serving.push(trace);
                 }
 
@@ -1078,6 +1335,15 @@ impl ClusterSim {
             }
         }
 
+        // Updates still awaiting an apply or a serve at the horizon flush
+        // as-is, in transaction order, so same-seed runs export identical
+        // trace sets.
+        let mut unfinished: Vec<(TxnId, PendingTrace)> = pending_traces.into_iter().collect();
+        unfinished.sort_by_key(|(id, _)| id.0);
+        for (_, p) in unfinished {
+            telemetry.propagation.push(p.trace);
+        }
+
         // Aggregate cache stats across sites.
         let mut agg = StatsSnapshot::default();
         for m in &monitors {
@@ -1100,6 +1366,8 @@ impl ClusterSim {
             report.weighted_staleness_samples += s.weighted_staleness_count;
         }
         report.freshness_hist = freshness_hist.snapshot();
+        report.update_to_serve = update_to_serve_hist.snapshot();
+        report.slo = slo_engine.finish(&telemetry.registry);
         report.master_txns = db.log().len() as u64;
         for s in 0..SITES.len() {
             report.site_watermarks[s] = replicas[s].applied().0;
@@ -1140,6 +1408,18 @@ impl ClusterSim {
             let mut lines = hourly_snapshots.join("\n");
             lines.push('\n');
             let _ = std::fs::write(dir.join("telemetry_hourly.jsonl"), lines);
+            let mut traces = String::new();
+            for t in telemetry
+                .propagation
+                .traces()
+                .iter()
+                .chain(telemetry.serving.traces().iter())
+            {
+                traces.push_str(&t.to_json());
+                traces.push('\n');
+            }
+            let _ = std::fs::write(dir.join("traces.jsonl"), traces);
+            let _ = std::fs::write(dir.join("slo.json"), slo_json(&report.slo));
         }
         report
     }
@@ -1456,16 +1736,79 @@ mod tests {
         let slow_b = b.telemetry.propagation.slowest(3);
         // Identical seed ⇒ identical traces, span timestamps included.
         assert_eq!(slow_a, slow_b);
-        // A complete trace: txn receipt plus distribute/odg/apply per site.
+        // Every trace is a tree rooted at the transaction receipt, with at
+        // least a distribute → traversal → apply chain per site.
         let trace = &slow_a[0];
-        assert_eq!(trace.spans.len(), 1 + 3 * SITES.len());
-        assert_eq!(trace.spans[0].name, "txn_receipt");
+        assert!(trace.spans.len() > 3 * SITES.len(), "{:?}", trace);
+        assert_eq!(trace.spans[0].name, "nagano_cluster_txn_receipt");
+        assert_eq!(trace.spans[0].parent, None);
+        assert!(trace.spans[1..].iter().all(|s| s.parent.is_some()));
         assert!(trace.render().contains("site=Tokyo"));
-        // Serving traces sampled deterministically too.
+        // A fully closed lineage tree exists: every site applied *and*
+        // served, so the tree carries four first-fresh-hit leaves.
+        let closed = a.telemetry.propagation.traces().into_iter().find(|t| {
+            t.spans
+                .iter()
+                .filter(|s| s.name == "nagano_cache_first_fresh_hit")
+                .count()
+                == SITES.len()
+        });
+        let closed = closed.expect("no update closed its lineage at all four sites");
+        assert_eq!(closed.spans.len(), 1 + 4 * SITES.len());
+        // Serving traces sampled deterministically too, as parent-linked
+        // route → lookup → render chains.
         assert!(!a.telemetry.serving.is_empty());
         assert_eq!(
             a.telemetry.serving.slowest(3),
             b.telemetry.serving.slowest(3)
+        );
+        let serve = &a.telemetry.serving.slowest(1)[0];
+        assert_eq!(serve.spans[0].name, "nagano_cluster_route");
+        assert!(serve
+            .spans
+            .iter()
+            .any(|s| s.name == "nagano_pagegen_render" && s.parent.is_some()));
+    }
+
+    #[test]
+    fn update_to_serve_lineage_feeds_the_freshness_histogram() {
+        let report = ClusterSim::new(quick_config()).run();
+        assert!(report.update_to_serve.count() > 0, "no lineage leaf closed");
+        // Commit → first fresh serve can never beat commit → site-visible.
+        assert!(report.update_to_serve.percentile(50.0) >= report.freshness_hist.percentile(50.0));
+        // The registry carries the same histogram for /metrics scrapes.
+        let text = prometheus_text(&report.telemetry.registry);
+        assert!(text.contains("nagano_cluster_update_to_serve_seconds_count"));
+    }
+
+    #[test]
+    fn default_slo_rules_pass_on_a_healthy_run() {
+        let report = ClusterSim::new(quick_config()).run();
+        assert_eq!(report.slo.len(), 2);
+        for outcome in &report.slo {
+            assert!(
+                outcome.pass,
+                "{} failed: observed {} vs target {}",
+                outcome.rule.name, outcome.observed, outcome.target
+            );
+            assert!(outcome.alerts.is_empty(), "{:?}", outcome.alerts);
+        }
+        assert!(report.slo.iter().any(|o| o.count > 0));
+    }
+
+    #[test]
+    fn violated_slo_fails_and_burns_its_budget() {
+        // An absurdly tight freshness bound: every sample is bad, so the
+        // rule fails and the multi-window burn-rate alert pages.
+        let mut cfg = quick_config();
+        cfg.slo_rules = vec!["impossible: 99% of nagano_cluster_freshness_seconds < 0.002".into()];
+        let report = ClusterSim::new(cfg).run();
+        assert_eq!(report.slo.len(), 1);
+        assert!(!report.slo[0].pass);
+        assert!(
+            report.slo[0].alerts.iter().any(|a| a.severity == "page"),
+            "sustained 100% burn never paged: {:?}",
+            report.slo[0].alerts
         );
     }
 
@@ -1647,6 +1990,14 @@ mod tests {
         // Two simulated days ⇒ 48 hourly snapshots.
         assert_eq!(hourly.lines().count(), 48);
         assert!(hourly.lines().next().unwrap().starts_with("{\"hour\":25,"));
+        let traces = std::fs::read_to_string(dir.join("traces.jsonl")).unwrap();
+        assert!(traces.lines().count() > 0);
+        assert!(traces.contains("\"kind\":\"propagation\""));
+        assert!(traces.contains("\"kind\":\"serving\""));
+        assert!(traces.contains("\"name\":\"nagano_cache_first_fresh_hit\""));
+        let slo = std::fs::read_to_string(dir.join("slo.json")).unwrap();
+        assert!(slo.starts_with("{\"slo\":["));
+        assert!(slo.contains("\"name\":\"fresh-60s\""));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

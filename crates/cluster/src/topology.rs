@@ -171,8 +171,8 @@ impl Msirp {
         const FALLBACK_PENALTY: u32 = 10_000;
         let addr = addr % 12;
         let mut candidates: Vec<(u32, usize)> = Vec::with_capacity(4);
-        for site in 0..4 {
-            let cost = match adverts[site] {
+        for (site, advert) in adverts.iter().enumerate() {
+            let cost = match advert {
                 Advert::Primary => region_cost(region, SiteId(site)),
                 Advert::Secondary => region_cost(region, SiteId(site)) + SECONDARY_PENALTY,
                 Advert::Fallback => region_cost(region, SiteId(site)) + FALLBACK_PENALTY,

@@ -254,6 +254,73 @@ impl ServingSite {
         Server::bind(addr, self.http_handler(node), config)
     }
 
+    /// The `/status` JSON document: registry size, ODG dimensions,
+    /// trigger progress (transactions, replication watermark, deferred-
+    /// regeneration queue depth and shed count), and per-node cache
+    /// occupancy. Hand-assembled with deterministic key order so same-
+    /// state sites produce byte-identical documents.
+    pub fn status_json(&self) -> String {
+        let trig = self.monitor.stats().snapshot();
+        let (odg_nodes, odg_edges) = self.monitor.graph_size();
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!(
+            "{{\"pages\":{},\"odg\":{{\"nodes\":{},\"edges\":{}}},\
+             \"trigger\":{{\"txns\":{},\"watermark\":{},\"deferred_depth\":{},\
+             \"deferred_shed\":{}}},\"caches\":[",
+            self.registry.len(),
+            odg_nodes,
+            odg_edges,
+            trig.txns,
+            self.monitor.watermark(),
+            trig.deferred_depth,
+            trig.deferred_shed,
+        ));
+        for (i, member) in self.fleet.members().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = member.stats();
+            out.push_str(&format!(
+                "{{\"node\":{},\"entries\":{},\"bytes\":{},\"hits\":{},\"misses\":{}}}",
+                i,
+                member.len(),
+                member.bytes(),
+                s.hits,
+                s.misses,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The page handler for `node` wrapped in an [`AdminPlane`]:
+    /// `/metrics` scrapes `registry` as Prometheus text, `/healthz`
+    /// probes liveness, `/status` returns [`ServingSite::status_json`],
+    /// and every other path serves pages as [`ServingSite::http_handler`].
+    pub fn admin_handler(
+        self: &Arc<Self>,
+        node: usize,
+        registry: Arc<nagano_telemetry::MetricsRegistry>,
+    ) -> Arc<dyn Handler> {
+        let site = Arc::clone(self);
+        let status: nagano_httpd::StatusFn = Arc::new(move || site.status_json());
+        Arc::new(
+            nagano_httpd::AdminPlane::new(registry, status).with_inner(self.http_handler(node)),
+        )
+    }
+
+    /// Bind an HTTP server for serving node `node` with the admin plane
+    /// attached, scrapeable over TCP while the site serves page traffic.
+    pub fn serve_admin_http(
+        self: &Arc<Self>,
+        addr: &str,
+        node: usize,
+        registry: Arc<nagano_telemetry::MetricsRegistry>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Server::bind(addr, self.admin_handler(node, registry), config)
+    }
+
     /// Bring a recovered serving node back: resynchronise its cache from
     /// a healthy peer so it rejoins rotation warm and version-consistent.
     /// Returns the number of pages copied.
@@ -464,5 +531,46 @@ mod tests {
         let text = prometheus_text(&registry);
         assert!(text.contains("nagano_cache_hits_total{node=\"0\",site=\"test\"} 2"));
         assert!(text.contains("nagano_trigger_txns_total{site=\"test\"} 0"));
+    }
+
+    #[test]
+    fn status_json_reports_live_state() {
+        let s = site();
+        s.handle(0, "/medals");
+        let doc = s.status_json();
+        assert!(doc.starts_with(&format!("{{\"pages\":{}", s.registry().len())));
+        assert!(doc.contains("\"deferred_depth\":0"));
+        assert!(doc.contains("\"node\":0") && doc.contains("\"node\":1"));
+        assert!(doc.contains("\"hits\":1"));
+        // Deterministic: identical state, identical bytes.
+        assert_eq!(doc, s.status_json());
+    }
+
+    #[test]
+    fn admin_handler_serves_metrics_status_and_pages() {
+        use nagano_httpd::HttpClient;
+        use nagano_telemetry::MetricsRegistry;
+        let s = Arc::new(site());
+        let registry = Arc::new(MetricsRegistry::new());
+        s.bind_telemetry(&registry, &[("site", "t")]);
+        let server = s
+            .serve_admin_http("127.0.0.1:0", 0, registry, ServerConfig::default())
+            .unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let (code, body) = client.get("/medals").unwrap();
+        assert_eq!(code, 200);
+        assert!(body.len() > 5_000);
+        let (code, body) = client.get("/metrics").unwrap();
+        assert_eq!(code, 200);
+        let text = String::from_utf8(body.to_vec()).unwrap();
+        assert!(text.contains("nagano_cache_hits_total"));
+        let (code, body) = client.get("/status").unwrap();
+        assert_eq!(code, 200);
+        assert!(body.starts_with(b"{\"pages\":"));
+        let (code, body) = client.get("/healthz").unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(&body[..], b"ok\n");
+        drop(client);
+        server.shutdown();
     }
 }

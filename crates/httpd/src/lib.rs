@@ -17,16 +17,21 @@
 //!   aggregations that drove the paper's 1998 redesign (§3.1).
 //! * [`metrics`] — per-endpoint request counters ([`HttpdMetrics`]) that
 //!   bind into the shared telemetry registry as `nagano_httpd_*`.
+//! * [`admin`] — the live operations plane ([`AdminPlane`]): `/metrics`
+//!   Prometheus scrapes, `/healthz`, and a `/status` JSON document,
+//!   wrapped around the page handler on the same port.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod client;
 pub mod http;
 pub mod log;
 pub mod metrics;
 pub mod server;
 
+pub use admin::{AdminPlane, StatusFn};
 pub use client::{HttpClient, LoadReport, LoadRunner};
 pub use http::{Request, Response, Status};
 pub use log::{AccessLog, LogAnalysis, LogEntry};

@@ -12,7 +12,9 @@
 //! | D002 | no `thread_rng`/OS entropy — only the seeded simcore RNG |
 //! | D003 | no `std::collections::HashMap`/`HashSet` (randomized order) |
 //! | R001 | no `.unwrap()`/`.expect()` in `httpd`/`cache`/`trigger`/`odg` |
+//! | R002 | no unbounded crossbeam channels in serving/propagation crates |
 //! | T001 | metric names match `nagano_<subsystem>_<metric>` |
+//! | T002 | trace span names match `nagano_<subsystem>_<name>`; registered metrics are documented in DESIGN.md |
 //!
 //! Intentional exceptions carry an inline allowlist annotation with a
 //! mandatory reason (syntax in DESIGN.md §10); a malformed annotation
@@ -32,7 +34,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 pub use lexer::{lex, strip_tests, Allow, LexOutput, MalformedAllow, TokKind, Token};
-pub use rules::{lint_source, Diagnostic, RuleInfo, RULES};
+pub use rules::{lint_metric_docs, lint_source, Diagnostic, RuleInfo, RULES};
 
 /// Result of linting a whole workspace.
 #[derive(Debug, Default)]
@@ -94,9 +96,12 @@ fn collect_rs(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lint every production source file under `root`.
+/// Lint every production source file under `root`. When the root has a
+/// `DESIGN.md`, every metric registered in code must also appear in its
+/// metric table (rule T002's documentation half).
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     let mut report = LintReport::default();
+    let design = fs::read_to_string(root.join("DESIGN.md")).ok();
     for path in workspace_files(root)? {
         let source = fs::read_to_string(&path)?;
         let rel = path
@@ -105,6 +110,11 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
             .to_string_lossy()
             .replace('\\', "/");
         report.diagnostics.extend(lint_source(&rel, &source));
+        if let Some(design) = &design {
+            report
+                .diagnostics
+                .extend(lint_metric_docs(&rel, &source, design));
+        }
         report.files_scanned += 1;
     }
     report

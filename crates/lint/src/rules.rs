@@ -63,6 +63,11 @@ pub const RULES: &[RuleInfo] = &[
         id: "T001",
         summary: "metric names must match nagano_<subsystem>_<metric>",
     },
+    RuleInfo {
+        id: "T002",
+        summary: "trace span names must match nagano_<subsystem>_<name>, and every \
+                  registered metric must appear in DESIGN.md's metric table",
+    },
 ];
 
 /// Metric-registration methods whose first argument is a metric name.
@@ -74,6 +79,10 @@ const METRIC_FNS: &[&str] = &[
     "bind_gauge",
     "bind_histogram",
 ];
+
+/// Trace methods taking a span name: for the first three the name is
+/// the first argument; `add_child` takes a parent index first.
+const SPAN_FNS: &[&str] = &["span", "span_with", "add_span", "add_child"];
 
 /// Subsystem segment allowed directly after the `nagano_` prefix.
 const SUBSYSTEMS: &[&str] = &[
@@ -159,6 +168,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
         rule_r002(rel_path, &toks, &mut diags);
     }
     rule_t001(rel_path, &toks, &mut diags);
+    rule_t002(rel_path, &toks, &mut diags);
 
     diags.retain(|d| d.rule == "A000" || !suppressed(d, &lexed.allows));
     diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
@@ -174,14 +184,14 @@ fn suppressed(d: &Diagnostic, allows: &[Allow]) -> bool {
         .any(|a| a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line))
 }
 
-fn ident<'a>(toks: &'a [Token], i: usize) -> Option<&'a str> {
+fn ident(toks: &[Token], i: usize) -> Option<&str> {
     match toks.get(i).map(|t| &t.kind) {
         Some(TokKind::Ident(s)) => Some(s.as_str()),
         _ => None,
     }
 }
 
-fn strlit<'a>(toks: &'a [Token], i: usize) -> Option<&'a str> {
+fn strlit(toks: &[Token], i: usize) -> Option<&str> {
     match toks.get(i).map(|t| &t.kind) {
         Some(TokKind::StrLit(s)) => Some(s.as_str()),
         _ => None,
@@ -379,6 +389,110 @@ fn rule_t001(file: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
             });
         }
     }
+}
+
+/// T002 (span half): span names passed to `Trace::{span, span_with,
+/// add_span, add_child}` must follow the same
+/// `nagano_<subsystem>_<name>` convention as metrics, so trace exports
+/// and the metric plane share one vocabulary.
+fn rule_t002(file: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len() {
+        if !punct(toks, i, '.') {
+            continue;
+        }
+        let Some(fn_name) = ident(toks, i + 1) else {
+            continue;
+        };
+        if !SPAN_FNS.contains(&fn_name) || !punct(toks, i + 2, '(') {
+            continue;
+        }
+        let name_at = if fn_name == "add_child" {
+            // Skip the parent-index expression: first comma at depth 0.
+            let Some(at) = skip_argument(toks, i + 3) else {
+                continue;
+            };
+            at
+        } else {
+            i + 3
+        };
+        let Some(span_name) = strlit(toks, name_at) else {
+            continue; // Name built dynamically — out of static reach.
+        };
+        if !valid_metric_name(span_name) {
+            diags.push(Diagnostic {
+                rule: "T002",
+                file: file.to_string(),
+                line: toks[name_at].line,
+                message: format!("non-conforming trace span name \"{span_name}\""),
+                suggestion: format!(
+                    "rename to nagano_<subsystem>_<name> (subsystems: {})",
+                    SUBSYSTEMS.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+/// Starting at token `start` (inside a call's parens), return the index
+/// of the token right after the first `,` at nesting depth 0, or `None`
+/// if the argument list closes first.
+fn skip_argument(toks: &[Token], start: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                if depth == 0 {
+                    return None;
+                }
+                depth -= 1;
+            }
+            TokKind::Punct(',') if depth == 0 => return Some(j + 1),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// T002 (docs half): every metric registered by name in production code
+/// must appear — backtick-quoted — in DESIGN.md's metric table, so the
+/// documented observability surface can never silently lag the code.
+/// Only conforming names are checked; non-conforming ones are already
+/// T001 findings. Workspace-level entry point: [`lint_source`] cannot
+/// see DESIGN.md, so `lint_workspace` calls this with its contents.
+pub fn lint_metric_docs(rel_path: &str, source: &str, design: &str) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let toks = strip_tests(&lexed.tokens);
+    let mut diags = Vec::new();
+    for i in 0..toks.len() {
+        if !punct(&toks, i, '.') {
+            continue;
+        }
+        let Some(name) = ident(&toks, i + 1) else {
+            continue;
+        };
+        if !METRIC_FNS.contains(&name) || !punct(&toks, i + 2, '(') {
+            continue;
+        }
+        let Some(metric) = strlit(&toks, i + 3) else {
+            continue;
+        };
+        if valid_metric_name(metric) && !design.contains(&format!("`{metric}`")) {
+            diags.push(Diagnostic {
+                rule: "T002",
+                file: rel_path.to_string(),
+                line: toks[i + 1].line,
+                message: format!("metric \"{metric}\" is not documented in DESIGN.md"),
+                suggestion: "add a row for it to DESIGN.md's metric table (§9), \
+                             backtick-quoting the metric name"
+                    .to_string(),
+            });
+        }
+    }
+    diags.retain(|d| !suppressed(d, &lexed.allows));
+    diags
 }
 
 /// `nagano_<subsystem>_<metric>` with a known subsystem, all

@@ -1,0 +1,10 @@
+// Fixture: T002 — trace span names off the nagano_<subsystem>_<name> convention.
+pub fn trace_update(trace: &mut Trace, at: SimTime) {
+    let root = trace.add_span("txn_receipt", "t1", at, at); // missing prefix
+    trace.add_child(root, "nagano_bogus_hop", "", at, at); // unknown subsystem
+    trace.add_child(idx(root + 1), "nagano_cluster_distribute", "edge", at, at); // conforming
+    trace.span("nagano_cache_apply", at, at); // conforming
+    trace.span_with("Nagano_Cache_Apply", "detail", at, at); // uppercase
+    let dynamic = format!("nagano_cache_{suffix}");
+    trace.add_span(&dynamic, "", at, at); // dynamic — out of static reach
+}

@@ -75,6 +75,50 @@ fn t001_fires_on_nonconforming_metric_names() {
 }
 
 #[test]
+fn t002_fires_on_nonconforming_span_names() {
+    let diags = lint_hot(include_str!("fixtures/t002.rs"));
+    assert_eq!(rules_of(&diags), vec!["T002", "T002", "T002"]);
+    assert!(diags[0].message.contains("txn_receipt"), "missing prefix");
+    assert!(
+        diags[1].message.contains("nagano_bogus_hop"),
+        "unknown subsystem, found through add_child's parent argument"
+    );
+    assert!(diags[2].message.contains("Nagano_Cache_Apply"), "uppercase");
+    assert!(diags[0].suggestion.contains("nagano_<subsystem>_<name>"));
+    // Conforming names and dynamically-built names stay clean.
+}
+
+#[test]
+fn t002_metric_docs_check_against_design_table() {
+    use nagano_lint::lint_metric_docs;
+    let src = r#"
+pub fn bind(reg: &Registry) {
+    reg.counter("nagano_cache_hits_total", &[]);
+    reg.gauge("nagano_trigger_regen_deferred_depth", &[]);
+    reg.histogram("bogus_name", &[], 1e-3, 10.0); // T001's problem, not ours
+}
+"#;
+    let design = "| `nagano_cache_hits_total` | counter | cache hits |";
+    let diags = lint_metric_docs("crates/cache/src/f.rs", src, design);
+    assert_eq!(rules_of(&diags), vec!["T002"]);
+    assert!(diags[0]
+        .message
+        .contains("nagano_trigger_regen_deferred_depth"));
+    assert!(diags[0].suggestion.contains("DESIGN.md"));
+    // Backtick quoting is required: a bare substring match would let
+    // `nagano_cache_hits` ride on `nagano_cache_hits_total`'s row.
+    let partial = "| `nagano_cache_hits_totals` | counter | not the same metric |";
+    assert_eq!(
+        lint_metric_docs("crates/cache/src/f.rs", src, partial).len(),
+        2
+    );
+    // An allowlist annotation suppresses the finding.
+    let annotated = "// nagano-lint: allow(T002) — experimental metric\n\
+                     pub fn f(reg: &Registry) { reg.counter(\"nagano_cache_tmp_total\", &[]); }";
+    assert!(lint_metric_docs("crates/cache/src/f.rs", annotated, "").is_empty());
+}
+
+#[test]
 fn allow_annotation_suppresses_the_rule() {
     let diags = lint_hot(include_str!("fixtures/allow.rs"));
     assert!(

@@ -91,10 +91,117 @@ fn label_set(labels: &Labels, le: Option<&str>) -> String {
     format!("{{{}}}", parts.join(","))
 }
 
-fn prom_escape(v: &str) -> String {
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double-quote, and line-feed become `\\`, `\"`, and `\n`
+/// (backslash first, so escapes never double-escape).
+pub fn prom_escape(v: &str) -> String {
     v.replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n")
+}
+
+/// Invert [`prom_escape`]: decode a label value read back from the text
+/// format. Returns `None` on a malformed sequence (trailing backslash or
+/// an unknown escape) — the round-trip proptest pins
+/// `prom_unescape(prom_escape(v)) == Some(v)` for arbitrary values.
+pub fn prom_unescape(v: &str) -> Option<String> {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                'n' => out.push('\n'),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Parse one Prometheus exposition line into `(name, labels, value)`,
+/// decoding label-value escapes. Comment and blank lines yield `None`,
+/// as does any malformed line — integration tests use this to assert
+/// every line a live `/metrics` endpoint serves is well-formed.
+pub fn parse_prometheus_line(line: &str) -> Option<(String, Labels, f64)> {
+    let line = line.trim_end_matches(['\r']);
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let (series, value) = line.rsplit_once(' ')?;
+    let value: f64 = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v.parse().ok()?,
+    };
+    match series.find('{') {
+        None => valid_series_name(series).then(|| (series.to_string(), Vec::new(), value)),
+        Some(i) => {
+            let name = &series[..i];
+            if !valid_series_name(name) {
+                return None;
+            }
+            let body = series[i + 1..].strip_suffix('}')?;
+            Some((name.to_string(), parse_label_body(body)?, value))
+        }
+    }
+}
+
+fn valid_series_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+}
+
+/// Parse `k1="v1",k2="v2"` (without the surrounding braces), decoding
+/// value escapes as it goes.
+fn parse_label_body(body: &str) -> Option<Labels> {
+    let mut labels = Vec::new();
+    if body.is_empty() {
+        return Some(labels);
+    }
+    let mut chars = body.chars();
+    loop {
+        let mut key = String::new();
+        loop {
+            match chars.next()? {
+                '=' => break,
+                c if c.is_ascii_alphanumeric() || c == '_' => key.push(c),
+                _ => return None,
+            }
+        }
+        if key.is_empty() {
+            return None;
+        }
+        if chars.next()? != '"' {
+            return None;
+        }
+        let mut val = String::new();
+        loop {
+            match chars.next()? {
+                '"' => break,
+                '\\' => match chars.next()? {
+                    '\\' => val.push('\\'),
+                    '"' => val.push('"'),
+                    'n' => val.push('\n'),
+                    _ => return None,
+                },
+                c => val.push(c),
+            }
+        }
+        labels.push((key, val));
+        match chars.next() {
+            None => break,
+            Some(',') => continue,
+            Some(_) => return None,
+        }
+    }
+    Some(labels)
 }
 
 /// Render every registered metric as a JSON document:
@@ -150,7 +257,7 @@ pub fn json_snapshot(registry: &MetricsRegistry) -> String {
 
 /// Format a float for JSON: non-finite values (empty-histogram min/max)
 /// collapse to 0.
-fn finite(x: f64) -> String {
+pub(crate) fn finite(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {
@@ -158,7 +265,7 @@ fn finite(x: f64) -> String {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -254,5 +361,90 @@ mod tests {
         assert!(text.contains("path=\"/a \\\"b\\\"\""));
         let json = json_snapshot(&reg);
         assert!(json.contains("\"path\":\"/a \\\"b\\\"\""));
+    }
+
+    #[test]
+    fn awkward_label_values_survive_a_full_line_round_trip() {
+        // Backslashes, quotes, and newlines are exactly the characters the
+        // text format escapes; all three at once must parse back losslessly.
+        let nasty = "C:\\logs\\\"day 1\"\nline2";
+        let reg = MetricsRegistry::new();
+        reg.counter("nagano_httpd_requests_total", &[("path", nasty)])
+            .add(3);
+        let text = prometheus_text(&reg);
+        let parsed: Vec<_> = text.lines().filter_map(parse_prometheus_line).collect();
+        assert_eq!(parsed.len(), 1, "{text}");
+        let (name, labels, value) = &parsed[0];
+        assert_eq!(name, "nagano_httpd_requests_total");
+        assert_eq!(labels, &vec![("path".to_string(), nasty.to_string())]);
+        assert_eq!(*value, 3.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines_and_skips_comments() {
+        assert!(parse_prometheus_line("# TYPE m counter").is_none());
+        assert!(parse_prometheus_line("").is_none());
+        assert!(
+            parse_prometheus_line("m{k=\"v\" 1").is_none(),
+            "unclosed brace"
+        );
+        assert!(
+            parse_prometheus_line("m{k=\"v} 1").is_none(),
+            "unclosed quote"
+        );
+        assert!(
+            parse_prometheus_line("m{k=\"\\q\"} 1").is_none(),
+            "bad escape"
+        );
+        assert!(parse_prometheus_line("m{k=\"v\"} x").is_none(), "bad value");
+        assert!(parse_prometheus_line("1m 2").is_none(), "bad name");
+        assert_eq!(
+            parse_prometheus_line("m_bucket{le=\"+Inf\"} 7"),
+            Some((
+                "m_bucket".to_string(),
+                vec![("le".to_string(), "+Inf".to_string())],
+                7.0
+            ))
+        );
+    }
+
+    #[test]
+    fn unescape_inverts_escape_on_the_tricky_cases() {
+        for v in ["", "plain", "\\", "\\\\", "\"", "\n", "\\n", "a\\\"b\nc"] {
+            assert_eq!(prom_unescape(&prom_escape(v)).as_deref(), Some(v), "{v:?}");
+        }
+        assert!(prom_unescape("trailing\\").is_none());
+        assert!(prom_unescape("\\q").is_none());
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn escape_then_unescape_is_identity(v in any::<String>()) {
+                prop_assert_eq!(prom_unescape(&prom_escape(&v)), Some(v));
+            }
+
+            #[test]
+            fn rendered_label_values_parse_back_exactly(v in any::<String>()) {
+                // End-to-end: registry → exposition text → parser. Raw
+                // carriage returns are the one character the line-based
+                // format cannot carry (the spec escapes only \\, \" and
+                // \n), so map them to newlines, which *are* escaped.
+                let v = v.replace('\r', "\n");
+                let reg = MetricsRegistry::new();
+                reg.counter("m_total", &[("k", v.as_str())]).incr();
+                let text = prometheus_text(&reg);
+                let parsed: Vec<_> =
+                    text.lines().filter_map(parse_prometheus_line).collect();
+                prop_assert_eq!(parsed.len(), 1);
+                let (name, labels, value) = parsed.into_iter().next().unwrap();
+                prop_assert_eq!(name, "m_total");
+                prop_assert_eq!(labels, vec![("k".to_string(), v)]);
+                prop_assert_eq!(value, 1.0);
+            }
+        }
     }
 }

@@ -19,7 +19,11 @@
 //!   bounded ring buffer with deterministic sim-time timestamps so traces
 //!   are reproducible under a fixed seed.
 //! * [`export`] — Prometheus text format and JSON snapshot writers over a
-//!   registry's samples.
+//!   registry's samples, plus a text-format parser used by round-trip
+//!   tests and live `/metrics` scrapes.
+//! * [`slo`] — declarative service-level objectives (`99% of <metric> <
+//!   30`, `p99 of <metric> < 0.25`) evaluated against the registry, with
+//!   multi-window burn-rate alerts over hourly sim-time snapshots.
 //!
 //! Everything here is `std`-only besides the simcore numerics: no
 //! wall-clock reads, no global state, deterministic iteration order
@@ -30,10 +34,14 @@
 
 pub mod export;
 pub mod registry;
+pub mod slo;
 pub mod span;
 
-pub use export::{json_snapshot, prometheus_text};
+pub use export::{
+    json_snapshot, parse_prometheus_line, prom_escape, prom_unescape, prometheus_text,
+};
 pub use registry::{Counter, Gauge, HistogramHandle, MetricSample, MetricValue, MetricsRegistry};
+pub use slo::{slo_json, BurnAlert, Objective, SloEngine, SloOutcome, SloRule};
 pub use span::{Span, Trace, TraceBuffer, TraceKind};
 
 /// The full telemetry bundle one system (a serving site, a cluster sim)

@@ -396,6 +396,7 @@ impl TriggerMonitor {
             return Vec::new();
         }
         let mut deferred = Vec::new();
+        let mut shed = 0u64;
         let mut queue = self.deferred.lock();
         for key in overflow {
             self.mark_stale(key, now);
@@ -407,12 +408,15 @@ impl TriggerMonitor {
                 *saved_ms += self.renderer.cost_model().cost_ms(key);
                 self.fleet.invalidate_everywhere(&key.to_url());
                 invalidated.push(key);
+                shed += 1;
             } else {
                 queue.insert(key);
                 deferred.push(key);
             }
         }
         self.stats.record_deferred(deferred.len() as u64);
+        self.stats.record_deferred_shed(shed);
+        self.stats.set_deferred_depth(queue.len() as u64);
         deferred
     }
 
@@ -469,9 +473,10 @@ impl TriggerMonitor {
                 requeue.push(key);
             }
         }
-        if !requeue.is_empty() {
+        {
             let mut queue = self.deferred.lock();
             queue.extend(requeue);
+            self.stats.set_deferred_depth(queue.len() as u64);
         }
         let (regenerated, _render_ms) = self.regenerate(&selected);
         self.stats.record_drained_regen(regenerated.len() as u64);
@@ -604,7 +609,11 @@ impl TriggerMonitor {
         // A retired page is gone on purpose, not stale: drop any pending
         // mark or deferred regeneration.
         self.stale_since.lock().remove(&key);
-        self.deferred.lock().remove(&key);
+        {
+            let mut queue = self.deferred.lock();
+            queue.remove(&key);
+            self.stats.set_deferred_depth(queue.len() as u64);
+        }
         let mut g = self.graph.lock();
         match g.names.get(&key.object_key()) {
             Some(id) => g.dup.graph_mut().remove_node(id).is_ok(),
@@ -1004,6 +1013,12 @@ mod tests {
             monitor.stats().snapshot().pages_deferred,
             outcome.deferred.len() as u64
         );
+        // The FIFO depth gauge tracks the live queue; nothing hit the cap.
+        assert_eq!(
+            monitor.stats().snapshot().deferred_depth,
+            outcome.deferred.len() as u64
+        );
+        assert_eq!(monitor.stats().snapshot().deferred_shed, 0);
         // Deferred pages keep serving stale bytes (update-in-place never
         // dropped them) and carry a stale mark.
         let parked = outcome.deferred[0];
@@ -1027,8 +1042,10 @@ mod tests {
         // records no staleness sample.
         monitor.observe_request(parked, tick + SimDuration::from_mins(1));
         assert_eq!(monitor.stats().snapshot().weighted_staleness_count, 1);
-        // An empty queue drains to nothing.
+        // An empty queue drains to nothing, and the depth gauge went back
+        // to zero with the last requeue.
         assert!(monitor.drain_deferred(tick).is_empty());
+        assert_eq!(monitor.stats().snapshot().deferred_depth, 0);
     }
 
     #[test]

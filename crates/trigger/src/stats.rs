@@ -6,7 +6,7 @@
 //! metric reports full percentiles (p50/p95/p99/p999), not just mean/max,
 //! and [`bind`](TriggerStats::bind) exposes the live cells to exporters.
 
-use nagano_telemetry::{Counter, HistogramHandle, MetricsRegistry};
+use nagano_telemetry::{Counter, Gauge, HistogramHandle, MetricsRegistry};
 
 /// Shared counters for one trigger monitor.
 #[derive(Debug)]
@@ -21,6 +21,10 @@ pub struct TriggerStats {
     /// Hot pages pushed to the hybrid policy's deferred queue (regen
     /// budget exhausted for the batch).
     pages_deferred: Counter,
+    /// Live depth of the bounded deferral FIFO (capped at 4096 entries).
+    deferred_depth: Gauge,
+    /// Pages shed to invalidation because the deferral FIFO was full.
+    deferred_shed: Counter,
     /// Modeled regeneration CPU actually spent, in milliseconds.
     regen_cpu_ms: Counter,
     /// Modeled regeneration CPU avoided by invalidating cold pages
@@ -45,6 +49,8 @@ impl Default for TriggerStats {
             nodes_visited: Counter::new(),
             recoveries: Counter::new(),
             pages_deferred: Counter::new(),
+            deferred_depth: Gauge::new(),
+            deferred_shed: Counter::new(),
             regen_cpu_ms: Counter::new(),
             regen_saved_ms: Counter::new(),
             latency: HistogramHandle::for_latency(),
@@ -73,6 +79,11 @@ pub struct TriggerStatsSnapshot {
     pub recoveries: u64,
     /// Hot pages deferred past the hybrid regeneration budget.
     pub pages_deferred: u64,
+    /// Pages currently parked on the deferral FIFO (point-in-time depth).
+    pub deferred_depth: u64,
+    /// Pages shed to invalidation because the deferral FIFO was at
+    /// capacity.
+    pub deferred_shed: u64,
     /// Modeled regeneration CPU spent, in milliseconds.
     pub regen_cpu_ms: u64,
     /// Modeled regeneration CPU avoided via cold-page invalidation, in
@@ -152,6 +163,18 @@ impl TriggerStats {
         self.pages_deferred.add(pages);
     }
 
+    /// Publish the deferral FIFO's current depth (call after any queue
+    /// mutation; last write wins).
+    pub fn set_deferred_depth(&self, depth: u64) {
+        self.deferred_depth.set(depth);
+    }
+
+    /// Record pages shed to invalidation because the deferral FIFO was
+    /// full.
+    pub fn record_deferred_shed(&self, pages: u64) {
+        self.deferred_shed.add(pages);
+    }
+
     /// Record pages regenerated outside a transaction record (the
     /// deferred-queue drain path).
     pub fn record_drained_regen(&self, pages: u64) {
@@ -201,6 +224,16 @@ impl TriggerStats {
             labels,
             &self.pages_deferred,
         );
+        registry.bind_gauge(
+            "nagano_trigger_regen_deferred_depth",
+            labels,
+            &self.deferred_depth,
+        );
+        registry.bind_counter(
+            "nagano_trigger_regen_deferred_shed_total",
+            labels,
+            &self.deferred_shed,
+        );
         registry.bind_counter(
             "nagano_trigger_regen_cpu_ms_total",
             labels,
@@ -232,6 +265,8 @@ impl TriggerStats {
             nodes_visited: self.nodes_visited.get(),
             recoveries: self.recoveries.get(),
             pages_deferred: self.pages_deferred.get(),
+            deferred_depth: self.deferred_depth.get(),
+            deferred_shed: self.deferred_shed.get(),
             regen_cpu_ms: self.regen_cpu_ms.get(),
             regen_saved_ms: self.regen_saved_ms.get(),
             weighted_staleness_count: staleness_count,
@@ -322,6 +357,26 @@ mod tests {
         assert!(text.contains("nagano_trigger_regen_cpu_ms_total{site=\"tokyo\"} 120"));
         assert!(text.contains("nagano_trigger_pages_deferred_total{site=\"tokyo\"} 3"));
         assert!(text.contains("nagano_trigger_weighted_staleness_seconds_count{site=\"tokyo\"} 2"));
+    }
+
+    #[test]
+    fn deferral_fifo_depth_and_shed_export() {
+        use nagano_telemetry::{prometheus_text, MetricsRegistry};
+        let reg = MetricsRegistry::new();
+        let s = TriggerStats::default();
+        s.bind(&reg, &[("site", "tokyo")]);
+        s.set_deferred_depth(4096);
+        s.record_deferred_shed(7);
+        s.record_deferred_shed(0);
+        let snap = s.snapshot();
+        assert_eq!(snap.deferred_depth, 4096);
+        assert_eq!(snap.deferred_shed, 7);
+        // Depth is a gauge: it goes back down when the queue drains.
+        s.set_deferred_depth(12);
+        assert_eq!(s.snapshot().deferred_depth, 12);
+        let text = prometheus_text(&reg);
+        assert!(text.contains("nagano_trigger_regen_deferred_depth{site=\"tokyo\"} 12"));
+        assert!(text.contains("nagano_trigger_regen_deferred_shed_total{site=\"tokyo\"} 7"));
     }
 
     #[test]

@@ -105,6 +105,8 @@ fn main() {
         .iter()
         .map(|ts| ts.rebin(60).bins()[4 * 24..5 * 24].to_vec())
         .collect();
+    // `h` indexes four parallel per-site vectors, not one iterable.
+    #[allow(clippy::needless_range_loop)]
     for h in 0..24 {
         let marker = match h {
             9 => "  <- node fails",

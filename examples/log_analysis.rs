@@ -63,7 +63,7 @@ fn main() {
     server.shutdown();
 
     // Analyse.
-    let buf = Arc::try_unwrap(log).ok().expect("sole owner").into_inner();
+    let buf = Arc::try_unwrap(log).expect("sole owner").into_inner();
     let analysis = LogAnalysis::from_reader(BufReader::new(&buf[..])).expect("parse");
     println!(
         "{} requests logged, {} malformed, {:.1} KB mean transfer, {:.1}% 2xx\n",

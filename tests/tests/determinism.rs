@@ -1,6 +1,7 @@
 //! The determinism contract, end to end (DESIGN.md §10): two cluster
 //! runs with the same seed must export **byte-identical** telemetry —
-//! the Prometheus text, the JSON snapshot, and the hourly JSONL series.
+//! the Prometheus text, the JSON snapshot, the hourly JSONL series,
+//! the update-lineage trace trees, and the SLO verdicts.
 //! This is the runtime twin of the `nagano-lint` static gate: D001–D003
 //! keep wall clocks, OS entropy, and randomized-order maps out of the
 //! sim paths, and this test catches anything the linter cannot see.
@@ -11,7 +12,13 @@ use nagano_cluster::{scripted_chaos_plan, ClusterConfig, ClusterSim};
 use nagano_db::GamesConfig;
 use nagano_simcore::SimTime;
 
-const EXPORTS: [&str; 3] = ["metrics.prom", "metrics.json", "telemetry_hourly.jsonl"];
+const EXPORTS: [&str; 5] = [
+    "metrics.prom",
+    "metrics.json",
+    "telemetry_hourly.jsonl",
+    "traces.jsonl",
+    "slo.json",
+];
 
 /// Run a one-day sim exporting telemetry into a fresh subdirectory of
 /// the cargo-provided test tmpdir; returns the export directory.
