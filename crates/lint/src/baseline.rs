@@ -1,0 +1,210 @@
+//! Finding baselines — the ratchet.
+//!
+//! A baseline file records, per `(rule, file)`, how many findings are
+//! *tolerated*. Applying it suppresses that many findings (earliest
+//! lines first, so the budget tracks the oldest debt) and leaves the
+//! rest as failures: new findings can never hide behind old ones, and
+//! when debt is paid down the unused budget is reported as slack so the
+//! file can be ratcheted.
+//!
+//! The format is line-oriented and diff-friendly:
+//!
+//! ```text
+//! # nagano-lint baseline — regenerate with --write-baseline
+//! O001 crates/pagegen/src/render.rs 2
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::rules::Diagnostic;
+
+/// Tolerated finding counts per `(rule, file)`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    budgets: BTreeMap<(String, String), usize>,
+}
+
+/// Result of applying a baseline to a report.
+#[derive(Debug, Default)]
+pub struct BaselineOutcome {
+    /// Findings not covered by any budget — still failures.
+    pub remaining: Vec<Diagnostic>,
+    /// Number of findings the baseline absorbed.
+    pub suppressed: usize,
+    /// Human-readable slack notes: budgets larger than today's count.
+    pub slack: Vec<String>,
+}
+
+impl Baseline {
+    /// Parse the line format; `#`-comments and blank lines are skipped.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut budgets = BTreeMap::new();
+        for (n, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(file), Some(count), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected `<rule> <file> <count>`, got `{line}`",
+                    n + 1
+                ));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", n + 1))?;
+            if budgets
+                .insert((rule.to_string(), file.to_string()), count)
+                .is_some()
+            {
+                return Err(format!(
+                    "baseline line {}: duplicate entry for {rule} {file}",
+                    n + 1
+                ));
+            }
+        }
+        Ok(Baseline { budgets })
+    }
+
+    /// Render in the canonical sorted form.
+    pub fn render(&self) -> String {
+        let mut out = String::from("# nagano-lint baseline — regenerate with --write-baseline\n");
+        for ((rule, file), count) in &self.budgets {
+            out.push_str(&format!("{rule} {file} {count}\n"));
+        }
+        out
+    }
+
+    /// Baseline that exactly covers `diags`.
+    pub fn from_report(diags: &[Diagnostic]) -> Baseline {
+        let mut budgets: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for d in diags {
+            *budgets
+                .entry((d.rule.to_string(), d.file.clone()))
+                .or_default() += 1;
+        }
+        Baseline { budgets }
+    }
+
+    /// Suppress up to the budgeted count per `(rule, file)` — earliest
+    /// lines first (`diags` must already be in the report's sorted
+    /// order, which is line-ascending within a file).
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> BaselineOutcome {
+        let mut spent: BTreeMap<(String, String), usize> = BTreeMap::new();
+        let mut out = BaselineOutcome::default();
+        for d in diags {
+            let key = (d.rule.to_string(), d.file.clone());
+            let budget = self.budgets.get(&key).copied().unwrap_or(0);
+            let used = spent.entry(key).or_default();
+            if *used < budget {
+                *used += 1;
+                out.suppressed += 1;
+            } else {
+                out.remaining.push(d);
+            }
+        }
+        for ((rule, file), budget) in &self.budgets {
+            let used = spent
+                .get(&(rule.clone(), file.clone()))
+                .copied()
+                .unwrap_or(0);
+            if used < *budget {
+                out.slack.push(format!(
+                    "{rule} {file}: budget {budget} but only {used} found — ratchet the \
+                     baseline down"
+                ));
+            }
+        }
+        out
+    }
+
+    /// Number of `(rule, file)` entries.
+    pub fn len(&self) -> usize {
+        self.budgets.len()
+    }
+
+    /// True when no budgets are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.budgets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, file: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            message: "m".to_string(),
+            suggestion: "s".to_string(),
+        }
+    }
+
+    #[test]
+    fn parse_render_round_trips() {
+        let b = Baseline::parse("# c\nO001 crates/a.rs 2\nL001 crates/b.rs 1\n").unwrap();
+        let again = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(b, again);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_duplicates() {
+        assert!(
+            Baseline::parse("O001 crates/a.rs").is_err(),
+            "missing count"
+        );
+        assert!(
+            Baseline::parse("O001 crates/a.rs two").is_err(),
+            "bad count"
+        );
+        assert!(Baseline::parse("O001 a.rs 1 extra").is_err(), "extra field");
+        assert!(Baseline::parse("O001 a.rs 1\nO001 a.rs 2").is_err(), "dup");
+    }
+
+    #[test]
+    fn apply_suppresses_earliest_lines_first() {
+        let b = Baseline::parse("O001 a.rs 2").unwrap();
+        let out = b.apply(vec![
+            diag("O001", "a.rs", 3),
+            diag("O001", "a.rs", 9),
+            diag("O001", "a.rs", 20),
+            diag("L001", "a.rs", 1),
+        ]);
+        assert_eq!(out.suppressed, 2);
+        assert_eq!(out.remaining.len(), 2);
+        assert_eq!(out.remaining[0].rule, "O001");
+        assert_eq!(out.remaining[0].line, 20, "newest finding stays a failure");
+        assert_eq!(out.remaining[1].rule, "L001", "unbudgeted rule unaffected");
+        assert!(out.slack.is_empty());
+    }
+
+    #[test]
+    fn unused_budget_is_reported_as_slack() {
+        let b = Baseline::parse("O001 a.rs 5").unwrap();
+        let out = b.apply(vec![diag("O001", "a.rs", 3)]);
+        assert!(out.remaining.is_empty());
+        assert_eq!(out.slack.len(), 1);
+        assert!(out.slack[0].contains("budget 5 but only 1"));
+    }
+
+    #[test]
+    fn from_report_covers_exactly() {
+        let diags = vec![
+            diag("O001", "a.rs", 3),
+            diag("O001", "a.rs", 9),
+            diag("L002", "b.rs", 4),
+        ];
+        let b = Baseline::from_report(&diags);
+        let out = b.apply(diags);
+        assert!(out.remaining.is_empty());
+        assert!(out.slack.is_empty());
+        assert_eq!(out.suppressed, 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! Diagnostic exporters: the `--json` form consumed by the determinism
+//! gate and a minimal SARIF 2.1.0 document for CI code-scanning
+//! surfaces. Both are hand-rolled (the linter is dependency-free) and
+//! byte-deterministic: diagnostics are emitted in their sorted order
+//! and the rule registry in registry order.
+
+use crate::rules::{Diagnostic, RULES};
+
+/// The `--json` export: `{"files_scanned":N,"diagnostics":[…]}`.
+pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::from("{\"files_scanned\":");
+    out.push_str(&files_scanned.to_string());
+    out.push_str(",\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"suggestion\":\"{}\"}}",
+            d.rule,
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message),
+            json_escape(&d.suggestion)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The `--sarif` export: one run, one result per diagnostic, rule
+/// metadata from the registry. Line-level regions only (the lexer does
+/// not track columns).
+pub fn render_sarif(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"nagano-lint\",\"rules\":[",
+    );
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            r.id,
+            json_escape(r.summary)
+        ));
+    }
+    out.push_str("]}},\"properties\":{\"filesScanned\":");
+    out.push_str(&files_scanned.to_string());
+    out.push_str("},\"results\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"ruleId\":\"{}\",\"level\":\"error\",\
+             \"message\":{{\"text\":\"{}\"}},\
+             \"locations\":[{{\"physicalLocation\":{{\
+             \"artifactLocation\":{{\"uri\":\"{}\",\"uriBaseId\":\"SRCROOT\"}},\
+             \"region\":{{\"startLine\":{}}}}}}}]}}",
+            d.rule,
+            json_escape(&format!("{} (fix: {})", d.message, d.suggestion)),
+            json_escape(&d.file),
+            d.line
+        ));
+    }
+    out.push_str("]}]}");
+    out
+}
+
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![Diagnostic {
+            rule: "D001",
+            file: "crates/x/src/a.rs".to_string(),
+            line: 7,
+            message: "wall-clock \"now\"".to_string(),
+            suggestion: "use the sim clock".to_string(),
+        }]
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_is_stable() {
+        let a = render_json(&sample(), 3);
+        let b = render_json(&sample(), 3);
+        assert_eq!(a, b);
+        assert!(a.contains("\\\"now\\\""));
+        assert!(a.starts_with("{\"files_scanned\":3"));
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_locations() {
+        let s = render_sarif(&sample(), 3);
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"id\":\"L001\""), "registry rules present");
+        assert!(s.contains("\"uri\":\"crates/x/src/a.rs\""));
+        assert!(s.contains("\"startLine\":7"));
+        assert_eq!(s, render_sarif(&sample(), 3), "byte-stable");
+    }
+}

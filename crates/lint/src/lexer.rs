@@ -152,8 +152,9 @@ pub fn lex(source: &str) -> LexOutput {
 }
 
 /// After reading an identifier, decide whether it is really the prefix
-/// of a byte string (`b"…"`), raw string (`r"…"`, `r#"…"#`, `br#"…"#`),
-/// or raw identifier (`r#fn`). Returns the index to resume lexing at.
+/// of a byte/C string (`b"…"`, `c"…"`), raw string (`r"…"`, `r#"…"#`,
+/// `br#"…"#`, `cr#"…"#`), or raw identifier (`r#fn`). Returns the index
+/// to resume lexing at.
 fn ident_or_literal(
     cs: &[char],
     end: usize,
@@ -162,7 +163,7 @@ fn ident_or_literal(
     out: &mut LexOutput,
 ) -> usize {
     let next = cs.get(end).copied();
-    if word == "b" && next == Some('"') {
+    if (word == "b" || word == "c") && next == Some('"') {
         let start_line = *line;
         let (j, text) = lex_plain_string(cs, end + 1, line);
         out.tokens.push(Token {
@@ -174,7 +175,7 @@ fn ident_or_literal(
     if word == "b" && next == Some('\'') {
         return lex_char_or_lifetime(cs, end);
     }
-    if (word == "r" || word == "br") && (next == Some('"') || next == Some('#')) {
+    if (word == "r" || word == "br" || word == "cr") && (next == Some('"') || next == Some('#')) {
         let mut hashes = 0usize;
         let mut j = end;
         while cs.get(j) == Some(&'#') {
@@ -351,15 +352,25 @@ fn parse_allow(rest: &str) -> Result<(String, String), &'static str> {
 
 /// Remove `#[cfg(test)]` / `#[test]` items from a token stream, so the
 /// rules only see code that ships in the production build. All other
-/// attributes are dropped from the stream but their items are kept.
+/// attributes are dropped from the stream but their items are kept. A
+/// top-level `#![cfg(test)]` inner attribute marks the *whole file* as
+/// test-only, so it strips to nothing.
 pub fn strip_tests(toks: &[Token]) -> Vec<Token> {
-    let mut out = Vec::with_capacity(toks.len());
+    let mut out: Vec<Token> = Vec::with_capacity(toks.len());
+    let mut depth = 0i32;
     let mut i = 0usize;
     while i < toks.len() {
         if is_punct(toks, i, '#') {
             if is_punct(toks, i + 1, '!') {
-                // Inner attribute `#![…]`: drop it, no item follows.
-                i = skip_balanced(toks, i + 2, '[', ']');
+                // Inner attribute `#![…]`: no item follows. At file scope
+                // a test-marking one exempts the entire file; otherwise
+                // the attribute itself is dropped from the stream.
+                let end = skip_balanced(toks, i + 2, '[', ']');
+                let body = toks.get(i + 3..end.saturating_sub(1)).unwrap_or(&[]);
+                if depth == 0 && is_test_attr(body) {
+                    return Vec::new();
+                }
+                i = end;
                 continue;
             }
             if is_punct(toks, i + 1, '[') {
@@ -377,6 +388,11 @@ pub fn strip_tests(toks: &[Token]) -> Vec<Token> {
                 i = if testish { skip_item(toks, j) } else { j };
                 continue;
             }
+        }
+        match toks[i].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => depth -= 1,
+            _ => {}
         }
         out.push(toks[i].clone());
         i += 1;
@@ -530,6 +546,111 @@ mod tests {
         assert_eq!(out.allows[1].line, 2);
         assert_eq!(out.malformed.len(), 1, "missing reason is malformed");
         assert_eq!(out.malformed[0].line, 3);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_do_not_swallow_code() {
+        // The `"#` inside the body must not close the r##-string early,
+        // and the code after the literal must keep lexing.
+        let src = "let s = r##\"quote \"# inside\"##;\nlet after = Instant;\n";
+        let out = lex(src);
+        let after = out
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("after".into()));
+        assert!(after.is_some(), "lexer desynced after raw string");
+        assert_eq!(after.map(|t| t.line), Some(2));
+        assert!(matches!(
+            &out.tokens.iter().find(|t| matches!(t.kind, TokKind::StrLit(_))).map(|t| &t.kind),
+            Some(TokKind::StrLit(s)) if s.contains("\"#")
+        ));
+    }
+
+    #[test]
+    fn multiline_raw_strings_keep_line_numbers() {
+        let src = "let s = r#\"line one\nline two\nline three\"#;\nlet z = 1;";
+        let out = lex(src);
+        let z = out
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("z".into()))
+            .map(|t| t.line);
+        assert_eq!(z, Some(4));
+    }
+
+    #[test]
+    fn c_string_literals_lex_as_strings() {
+        // `c"…"` and `cr#"…"#` prefixes must be treated as literals, not
+        // as an identifier followed by a desynced quote.
+        let src = "let a = c\"thread_rng\";\nlet b = cr#\"OsRng\"#;\nlet real = elapsed;";
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "thread_rng" || s == "OsRng"));
+        assert!(ids.iter().any(|s| s == "elapsed"));
+        let strs = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| matches!(t.kind, TokKind::StrLit(_)))
+            .count();
+        assert_eq!(strs, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_right_depth() {
+        let src =
+            "/* outer /* inner */ still a comment */ let real = 1; /* /*a*/ /*b*/ */ let more = 2;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "real", "let", "more"]);
+        // Line counting survives newlines inside nested comments.
+        let src2 = "/* a\n/* b\n*/\nc */\nlet z = 1;";
+        let z = lex(src2)
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("z".into()))
+            .map(|t| t.line);
+        assert_eq!(z, Some(5));
+    }
+
+    #[test]
+    fn multiline_cfg_test_attribute_is_stripped() {
+        // The attribute spans three lines; the decorated item must still
+        // be recognised as test-only and removed.
+        let src = "
+            fn keep() {}
+            #[cfg(
+                test
+            )]
+            mod tests { fn gone() { let _ = Instant::now(); } }
+        ";
+        let out = strip_tests(&lex(src).tokens);
+        let ids: Vec<String> = out
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(ids.contains(&"keep".to_string()));
+        assert!(!ids.contains(&"gone".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+    }
+
+    #[test]
+    fn file_level_cfg_test_exempts_the_whole_file() {
+        let src = "#![cfg(test)]\nfn helper() { let _ = Instant::now(); }";
+        assert!(strip_tests(&lex(src).tokens).is_empty());
+        // A non-test inner attribute keeps the file.
+        let src2 = "#![allow(dead_code)]\nfn helper() {}";
+        assert!(!strip_tests(&lex(src2).tokens).is_empty());
+        // A *module-level* inner cfg(test) does not exempt the file.
+        let src3 = "mod m { #![cfg(test)] }\nfn keep() {}";
+        let ids: Vec<String> = strip_tests(&lex(src3).tokens)
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(ids.contains(&"keep".to_string()));
     }
 
     #[test]

@@ -1,38 +1,64 @@
-//! `nagano-lint` — workspace determinism & robustness linter.
+//! `nagano-lint` — workspace determinism, robustness & ODG-semantics linter.
 //!
 //! The reproduction's north star (DESIGN.md §8, ROADMAP) is that the
 //! simulation is *deterministic*: same seed → same propagation traces,
 //! same freshness percentiles, byte-identical telemetry exports. This
 //! crate enforces that contract statically, plus the robustness rule
-//! that the serving hot path never panics:
+//! that the serving hot path never panics, plus — since the v2
+//! cross-file engine — the semantic invariants the paper's design
+//! depends on: a deadlock-free lock order and a *complete, minimal*
+//! Object Dependence Graph:
 //!
 //! | rule | enforces |
 //! |------|----------|
 //! | D001 | no `Instant::now`/`SystemTime::now` outside `simcore`/`bench` |
 //! | D002 | no `thread_rng`/OS entropy — only the seeded simcore RNG |
 //! | D003 | no `std::collections::HashMap`/`HashSet` (randomized order) |
+//! | L001 | no cycles in the cross-file lock-acquisition graph (deadlock) |
+//! | L002 | no guard held across a blocking call in serving crates |
+//! | O001 | every renderer data read is covered by a registered ODG edge |
+//! | O002 | no dead ODG edges (registered but never read) |
 //! | R001 | no `.unwrap()`/`.expect()` in `httpd`/`cache`/`trigger`/`odg` |
 //! | R002 | no unbounded crossbeam channels in serving/propagation crates |
 //! | T001 | metric names match `nagano_<subsystem>_<metric>` |
 //! | T002 | trace span names match `nagano_<subsystem>_<name>`; registered metrics are documented in DESIGN.md |
 //!
+//! Linting runs in two passes. Pass 1 ([`model`]) lexes every
+//! production file once, runs the per-file token rules, and builds a
+//! cross-file workspace model (fn symbol table, lock acquisitions with
+//! live-guard tracking, resolvable call edges, and the pagegen
+//! read/edge inventory). Pass 2 runs the semantic rules over that
+//! model: [`locks`] (L001/L002) and [`odg_audit`] (O001/O002).
+//!
 //! Intentional exceptions carry an inline allowlist annotation with a
 //! mandatory reason (syntax in DESIGN.md §10); a malformed annotation
 //! is itself an error (A000). Test code (`#[cfg(test)]` / `#[test]`)
-//! is exempt.
+//! is exempt. Pre-existing debt can alternatively be budgeted in a
+//! [`Baseline`] file and ratcheted down over time.
 //!
 //! The analyzer is dependency-free by design: it lexes Rust directly
 //! (comments, strings, raw strings, and test items handled in
 //! [`lexer`]) instead of pulling a parser crate into the gate that is
-//! supposed to keep the build honest.
+//! supposed to keep the build honest. All output — including the
+//! `--json` and SARIF exports in [`export`] — is sorted by
+//! `(file, line, rule, message)` and byte-identical across runs, so
+//! lint results fall under the same determinism gate as the telemetry.
 
+mod baseline;
+mod export;
 mod lexer;
+mod locks;
+mod model;
+mod odg_audit;
 mod rules;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub use baseline::{Baseline, BaselineOutcome};
+pub use export::{render_json, render_sarif};
 pub use lexer::{lex, strip_tests, Allow, LexOutput, MalformedAllow, TokKind, Token};
 pub use rules::{lint_metric_docs, lint_source, Diagnostic, RuleInfo, RULES};
 
@@ -41,7 +67,7 @@ pub use rules::{lint_metric_docs, lint_source, Diagnostic, RuleInfo, RULES};
 pub struct LintReport {
     /// Number of files scanned.
     pub files_scanned: usize,
-    /// All findings, ordered by (file, line, rule).
+    /// All findings, ordered by (file, line, rule, message).
     pub diagnostics: Vec<Diagnostic>,
 }
 
@@ -96,12 +122,15 @@ fn collect_rs(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lint every production source file under `root`. When the root has a
-/// `DESIGN.md`, every metric registered in code must also appear in its
-/// metric table (rule T002's documentation half).
+/// Lint every production source file under `root`: the per-file token
+/// rules, then the cross-file semantic passes (lock graph + ODG audit)
+/// over the workspace model. When the root has a `DESIGN.md`, every
+/// metric registered in code must also appear in its metric table
+/// (rule T002's documentation half).
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     let mut report = LintReport::default();
     let design = fs::read_to_string(root.join("DESIGN.md")).ok();
+    let mut sources: Vec<model::SourceFile> = Vec::new();
     for path in workspace_files(root)? {
         let source = fs::read_to_string(&path)?;
         let rel = path
@@ -115,10 +144,29 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
                 .diagnostics
                 .extend(lint_metric_docs(&rel, &source, design));
         }
+        sources.push(model::SourceFile::parse(&rel, &source));
         report.files_scanned += 1;
     }
-    report
-        .diagnostics
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    // Pass 2: semantic rules over the cross-file model. The per-file
+    // allowlists apply to these too (a semantic finding is suppressed
+    // by an annotation in the file it is reported against).
+    let workspace = model::WorkspaceModel::build(&sources);
+    let mut semantic = locks::run(&workspace);
+    semantic.extend(odg_audit::run(&sources));
+    let allows_by_file: BTreeMap<&str, &[Allow]> = sources
+        .iter()
+        .map(|s| (s.rel.as_str(), s.allows.as_slice()))
+        .collect();
+    semantic.retain(|d| {
+        !allows_by_file
+            .get(d.file.as_str())
+            .is_some_and(|allows| rules::suppressed(d, allows))
+    });
+    report.diagnostics.extend(semantic);
+
+    report.diagnostics.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
     Ok(report)
 }

@@ -1,43 +1,89 @@
-//! CLI entry point: `cargo run -p nagano-lint [-- --json | --rules | --root <path>]`.
+//! CLI entry point: `cargo run -p nagano-lint [-- OPTIONS]`.
 //!
-//! Exits 0 when the workspace is clean, 1 when there are findings, and
-//! 2 on I/O or usage errors. `--json` emits the machine-readable form
-//! consumed by tooling; the default output is one finding per line in
-//! `rule file:line message` shape with an indented suggestion.
+//! Exits 0 when the workspace is clean (after baseline application), 1
+//! when there are findings, and 2 on I/O or usage errors. `--json`
+//! emits the machine-readable form consumed by tooling, `--sarif` the
+//! SARIF 2.1.0 document CI uploads; the default output is one finding
+//! per line in `rule file:line message` shape with an indented
+//! suggestion.
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use nagano_lint::{lint_workspace, Diagnostic, RULES};
+use nagano_lint::{lint_workspace, render_json, render_sarif, Baseline, RULES};
+
+struct Options {
+    json: bool,
+    sarif: bool,
+    sarif_file: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    expect: Option<BTreeSet<String>>,
+    root: Option<PathBuf>,
+}
 
 fn main() -> ExitCode {
-    let mut json = false;
-    let mut root: Option<PathBuf> = None;
+    let mut opts = Options {
+        json: false,
+        sarif: false,
+        sarif_file: None,
+        baseline: None,
+        write_baseline: None,
+        expect: None,
+        root: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => opts.json = true,
+            "--sarif" => opts.sarif = true,
             "--rules" => {
                 for rule in RULES {
                     println!("{}  {}", rule.id, rule.summary);
                 }
                 return ExitCode::SUCCESS;
             }
-            "--root" => match args.next() {
-                Some(p) => root = Some(PathBuf::from(p)),
+            "--sarif-file" | "--baseline" | "--write-baseline" | "--root" => {
+                let Some(p) = args.next() else {
+                    eprintln!("{arg} requires a path");
+                    return ExitCode::from(2);
+                };
+                let p = PathBuf::from(p);
+                match arg.as_str() {
+                    "--sarif-file" => opts.sarif_file = Some(p),
+                    "--baseline" => opts.baseline = Some(p),
+                    "--write-baseline" => opts.write_baseline = Some(p),
+                    _ => opts.root = Some(p),
+                }
+            }
+            "--expect" => match args.next() {
+                Some(ids) => {
+                    opts.expect = Some(
+                        ids.split(',')
+                            .map(|s| s.trim().to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect(),
+                    );
+                }
                 None => {
-                    eprintln!("--root requires a path");
+                    eprintln!("--expect requires a comma-separated rule list");
                     return ExitCode::from(2);
                 }
             },
             "-h" | "--help" => {
                 println!(
-                    "nagano-lint: workspace determinism & robustness linter\n\n\
+                    "nagano-lint: workspace determinism, robustness & ODG-semantics linter\n\n\
                      usage: cargo run -p nagano-lint [-- OPTIONS]\n\n\
                      options:\n  \
-                     --json         machine-readable output\n  \
-                     --rules        list the rule registry\n  \
-                     --root <path>  workspace root (default: this repo)"
+                     --json                  machine-readable output\n  \
+                     --sarif                 SARIF 2.1.0 output on stdout\n  \
+                     --sarif-file <path>     also write the SARIF document to <path>\n  \
+                     --baseline <path>       suppress findings budgeted in <path> (ratchet)\n  \
+                     --write-baseline <path> write a baseline covering today's findings\n  \
+                     --expect <ID,ID,...>    exit 0 iff exactly these rule ids fire (fixture CI)\n  \
+                     --rules                 list the rule registry\n  \
+                     --root <path>           workspace root (default: this repo)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -47,7 +93,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    let root = root.unwrap_or_else(default_root);
+    let root = opts.root.clone().unwrap_or_else(default_root);
 
     let report = match lint_workspace(&root) {
         Ok(r) => r,
@@ -57,14 +103,94 @@ fn main() -> ExitCode {
         }
     };
 
-    if json {
-        println!("{}", render_json(&report.diagnostics, report.files_scanned));
+    if let Some(path) = &opts.write_baseline {
+        let text = Baseline::from_report(&report.diagnostics).render();
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("nagano-lint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "nagano-lint: baseline covering {} finding(s) written to {}",
+            report.diagnostics.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Apply the baseline ratchet. A missing baseline file is an error,
+    // not an empty baseline: CI passing because the file went missing
+    // would defeat the gate.
+    let mut diagnostics = report.diagnostics;
+    if let Some(path) = &opts.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("nagano-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("nagano-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let outcome = baseline.apply(diagnostics);
+        for note in &outcome.slack {
+            eprintln!("nagano-lint: baseline slack: {note}");
+        }
+        if outcome.suppressed > 0 {
+            eprintln!(
+                "nagano-lint: {} finding(s) suppressed by the baseline",
+                outcome.suppressed
+            );
+        }
+        diagnostics = outcome.remaining;
+    }
+
+    // The SARIF artifact is written whatever the verdict — CI uploads
+    // it from failing runs too.
+    if let Some(path) = &opts.sarif_file {
+        if let Err(e) = std::fs::write(path, render_sarif(&diagnostics, report.files_scanned)) {
+            eprintln!("nagano-lint: cannot write SARIF {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if opts.sarif {
+        println!("{}", render_sarif(&diagnostics, report.files_scanned));
+    } else if opts.json {
+        println!("{}", render_json(&diagnostics, report.files_scanned));
     } else {
-        for d in &report.diagnostics {
+        for d in &diagnostics {
             println!("{} {}:{} {}", d.rule, d.file, d.line, d.message);
             println!("     fix: {}", d.suggestion);
         }
-        if report.is_clean() {
+    }
+
+    // Fixture mode: assert that exactly the expected rule set fires.
+    if let Some(expected) = &opts.expect {
+        let fired: BTreeSet<String> = diagnostics.iter().map(|d| d.rule.to_string()).collect();
+        if &fired == expected {
+            if !opts.sarif && !opts.json {
+                println!(
+                    "nagano-lint: expected rule set {{{}}} fired",
+                    expected.iter().cloned().collect::<Vec<_>>().join(", ")
+                );
+            }
+            return ExitCode::SUCCESS;
+        }
+        eprintln!(
+            "nagano-lint: expected rules {{{}}} but got {{{}}}",
+            expected.iter().cloned().collect::<Vec<_>>().join(", "),
+            fired.into_iter().collect::<Vec<_>>().join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if !opts.sarif && !opts.json {
+        if diagnostics.is_empty() {
             println!(
                 "nagano-lint: clean — {} files, {} rules",
                 report.files_scanned,
@@ -73,13 +199,13 @@ fn main() -> ExitCode {
         } else {
             println!(
                 "nagano-lint: {} violation(s) in {} file(s) scanned",
-                report.diagnostics.len(),
+                diagnostics.len(),
                 report.files_scanned
             );
         }
     }
 
-    if report.is_clean() {
+    if diagnostics.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -93,40 +219,4 @@ fn default_root() -> PathBuf {
         Some(dir) => PathBuf::from(dir).join("../.."),
         None => PathBuf::from("."),
     }
-}
-
-fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
-    let mut out = String::from("{\"files_scanned\":");
-    out.push_str(&files_scanned.to_string());
-    out.push_str(",\"diagnostics\":[");
-    for (i, d) in diags.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"suggestion\":\"{}\"}}",
-            d.rule,
-            json_escape(&d.file),
-            d.line,
-            json_escape(&d.message),
-            json_escape(&d.suggestion)
-        ));
-    }
-    out.push_str("]}");
-    out
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }

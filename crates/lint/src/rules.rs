@@ -52,6 +52,26 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no std HashMap/HashSet in deterministic paths — FxHashMap + sorted iteration, or BTreeMap",
     },
     RuleInfo {
+        id: "L001",
+        summary: "no lock-order inversions — a cycle in the cross-file lock-acquisition \
+                  graph is a potential deadlock",
+    },
+    RuleInfo {
+        id: "L002",
+        summary: "no guard held across a blocking call (channel send/recv, join, accept) \
+                  in serving/propagation crates",
+    },
+    RuleInfo {
+        id: "O001",
+        summary: "every data read in a pagegen renderer arm must be covered by a \
+                  registered ODG edge (directly or via a fragment edge)",
+    },
+    RuleInfo {
+        id: "O002",
+        summary: "no dead ODG edges — a registered dependency whose data the arm never \
+                  reads is a wasted invalidation",
+    },
+    RuleInfo {
         id: "R001",
         summary: "no .unwrap()/.expect() in serving hot-path crates (httpd, cache, trigger, odg)",
     },
@@ -177,8 +197,9 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
 
 /// An allowlist annotation suppresses a diagnostic of its rule on the
 /// same line (trailing comment) or the line directly below (comment
-/// above the offending statement).
-fn suppressed(d: &Diagnostic, allows: &[Allow]) -> bool {
+/// above the offending statement). Shared with the semantic passes,
+/// whose diagnostics are filtered in `lint_workspace`.
+pub(crate) fn suppressed(d: &Diagnostic, allows: &[Allow]) -> bool {
     allows
         .iter()
         .any(|a| a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line))

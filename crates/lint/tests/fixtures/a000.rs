@@ -1,0 +1,7 @@
+// Fixture: A000 — an annotation without a reason is malformed (and
+// would not suppress anything). Nothing else in this file fires.
+
+pub fn quiet(xs: &[u64]) -> usize {
+    // nagano-lint: allow(R001)
+    xs.len()
+}

@@ -1,0 +1,8 @@
+// Fixture: a well-formed annotation — rule id plus a reason after the
+// em-dash — is not A000.
+
+pub fn profile() -> u64 {
+    // nagano-lint: allow(D001) — host-time profiling is the point of this fixture
+    let start = Instant::now();
+    start.elapsed().as_micros() as u64
+}

@@ -1,0 +1,7 @@
+// Fixture: D001-clean — time comes from the simulation clock, never
+// the host.
+
+pub fn measure(clock: &SimClock) -> u64 {
+    let start = clock.elapsed_micros();
+    clock.elapsed_micros() - start
+}

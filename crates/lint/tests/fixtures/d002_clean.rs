@@ -1,0 +1,5 @@
+// Fixture: D002-clean — randomness comes from the seeded simcore RNG.
+
+pub fn jitter(rng: &mut SimRng, spread: u64) -> u64 {
+    rng.next_u64() % spread
+}

@@ -1,0 +1,9 @@
+// Fixture: D003-clean — ordered collections keep iteration
+// deterministic.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn index(keys: &[String]) -> (BTreeMap<String, usize>, BTreeSet<String>) {
+    let map: BTreeMap<String, usize> = keys.iter().cloned().zip(0..).collect();
+    let set: BTreeSet<String> = keys.iter().cloned().collect();
+    (map, set)
+}

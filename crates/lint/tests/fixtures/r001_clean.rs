@@ -1,0 +1,9 @@
+// Fixture: R001-clean — the hot path degrades instead of panicking.
+
+pub fn serve(page: Option<&'static str>) -> &'static str {
+    page.unwrap_or("<h1>503 — regenerating</h1>")
+}
+
+pub fn serve_with(page: Option<String>) -> String {
+    page.unwrap_or_else(|| "fallback".to_string())
+}

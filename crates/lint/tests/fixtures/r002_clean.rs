@@ -1,0 +1,7 @@
+// Fixture: R002-clean — bounded channels give backpressure a floor.
+use crossbeam::channel::bounded;
+
+pub fn fan_in() {
+    let (_tx, _rx) = bounded::<u64>(64);
+    let (_tx2, _rx2) = crossbeam::channel::bounded::<u64>(128);
+}

@@ -1,0 +1,16 @@
+// Fixture: fragment arms. `ScheduleRow` cleanly registers the event
+// edge its result read needs — and thereby covers the `event` reads of
+// every page arm that depends on the fragment (render.rs).
+
+impl Renderer {
+    fn compose_fragment(&self, f: FragmentKey, html: &mut String, deps: &mut Vec<Dependency>) {
+        match f {
+            FragmentKey::ScheduleRow(e) => {
+                deps.push(Dependency::new(nagano_db::EventId(e.0).data_key()));
+                for r in self.db.results_for_event(e) {
+                    let _ = writeln!(html, "<tr><td>{}</td></tr>", r.rank);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: settlement ledger. `settle` takes `ledger`, then (inside
+// `note_inbox_depth`) `inbox` — closing the L001 cycle opened by
+// `UpdateQueue::enqueue` in crates/trigger/src/queue.rs.
+
+pub struct Ledger {
+    ledger: Mutex<Vec<Entry>>,
+}
+
+impl Ledger {
+    /// Locks `ledger`; called by `UpdateQueue::enqueue` while `inbox`
+    /// is held.
+    pub fn stamp_ledger(&self, depth: usize) {
+        let mut entries = self.ledger.lock();
+        entries.push(Entry::depth_marker(depth));
+    }
+
+    /// Takes `ledger` then `inbox` — the inversion.
+    pub fn settle(&self) -> usize {
+        let entries = self.ledger.lock();
+        let pending = self.note_inbox_depth();
+        entries.len() + pending
+    }
+}

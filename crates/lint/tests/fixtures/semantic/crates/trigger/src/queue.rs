@@ -1,0 +1,32 @@
+// Fixture: trigger-side update queue. Seeds half of a lock-order
+// inversion (L001, completed by crates/trigger/src/ledger.rs) and one
+// guard-held-across-recv (L002). Lexed by the linter, never compiled.
+
+pub struct UpdateQueue {
+    inbox: Mutex<Vec<Update>>,
+    rx: Receiver<Update>,
+}
+
+impl UpdateQueue {
+    /// Takes `inbox`, then (inside `stamp_ledger`) `ledger` — the
+    /// opposite order from `Ledger::settle`.
+    pub fn enqueue(&self, u: Update) {
+        let mut q = self.inbox.lock();
+        q.push(u);
+        self.stamp_ledger(q.len());
+    }
+
+    /// Locks `inbox`; called by `Ledger::settle` while `ledger` is held.
+    pub fn note_inbox_depth(&self) -> usize {
+        self.inbox.lock().len()
+    }
+
+    /// Holds the `inbox` guard across a blocking channel receive: a
+    /// slow producer stalls every other path that needs the inbox.
+    pub fn drain_one(&self) {
+        let mut q = self.inbox.lock();
+        if let Ok(u) = self.rx.recv() {
+            q.push(u);
+        }
+    }
+}

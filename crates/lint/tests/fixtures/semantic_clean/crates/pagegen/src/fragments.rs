@@ -1,0 +1,16 @@
+// Fixture: identical to fixtures/semantic — the fragment arm was
+// already clean; it exists so the mirror workspace still exercises the
+// fragment-coverage path of the audit.
+
+impl Renderer {
+    fn compose_fragment(&self, f: FragmentKey, html: &mut String, deps: &mut Vec<Dependency>) {
+        match f {
+            FragmentKey::ScheduleRow(e) => {
+                deps.push(Dependency::new(nagano_db::EventId(e.0).data_key()));
+                for r in self.db.results_for_event(e) {
+                    let _ = writeln!(html, "<tr><td>{}</td></tr>", r.rank);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: the ledger from fixtures/semantic with the inversion fixed —
+// `settle` reads the inbox depth *before* taking `ledger`, so every
+// path agrees on the inbox-then-ledger order.
+
+pub struct Ledger {
+    ledger: Mutex<Vec<Entry>>,
+}
+
+impl Ledger {
+    /// Locks `ledger`; callers hold nothing (see `UpdateQueue::enqueue`).
+    pub fn stamp_ledger(&self, depth: usize) {
+        let mut entries = self.ledger.lock();
+        entries.push(Entry::depth_marker(depth));
+    }
+
+    /// Inbox depth first, ledger second — no inversion.
+    pub fn settle(&self) -> usize {
+        let pending = self.note_inbox_depth();
+        let entries = self.ledger.lock();
+        entries.len() + pending
+    }
+}

@@ -1,0 +1,34 @@
+// Fixture: the queue from fixtures/semantic with both defects fixed —
+// the inbox guard is dropped before crossing into the ledger (L001)
+// and before the blocking receive (L002).
+
+pub struct UpdateQueue {
+    inbox: Mutex<Vec<Update>>,
+    rx: Receiver<Update>,
+}
+
+impl UpdateQueue {
+    /// The inbox guard dies with the block; `ledger` is taken with
+    /// nothing held.
+    pub fn enqueue(&self, u: Update) {
+        let depth = {
+            let mut q = self.inbox.lock();
+            q.push(u);
+            q.len()
+        };
+        self.stamp_ledger(depth);
+    }
+
+    /// Locks `inbox`; safe to call from `Ledger::settle` now that
+    /// `settle` reads the depth before taking `ledger`.
+    pub fn note_inbox_depth(&self) -> usize {
+        self.inbox.lock().len()
+    }
+
+    /// Receive first, lock after: the blocking wait holds nothing.
+    pub fn drain_one(&self) {
+        if let Ok(u) = self.rx.recv() {
+            self.inbox.lock().push(u);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: T001-clean — every metric name follows
+// nagano_<subsystem>_<metric>.
+
+pub fn bind(reg: &Registry, g: &Gauge) {
+    reg.counter("nagano_cache_hits_total", &[]).incr();
+    reg.bind_gauge("nagano_trigger_queue_depth", &[], g);
+    reg.histogram("nagano_httpd_serve_seconds", &[], 1e-3, 10.0);
+}

@@ -1,0 +1,8 @@
+// Fixture: T002-clean — every span name follows
+// nagano_<subsystem>_<name>.
+
+pub fn trace_update(trace: &mut Trace, at: SimTime) {
+    let root = trace.add_span("nagano_trigger_receipt", "t1", at, at);
+    trace.add_child(root, "nagano_cluster_distribute", "edge", at, at);
+    trace.span("nagano_cache_apply", at, at);
+}

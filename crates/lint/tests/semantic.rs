@@ -1,0 +1,117 @@
+//! Cross-file semantic rules, driven end-to-end through
+//! [`lint_workspace`] over the two committed fixture workspaces:
+//! `fixtures/semantic/` seeds one defect per semantic rule, and
+//! `fixtures/semantic_clean/` is the same code with the defects fixed.
+//! The fixtures are lexed by the linter, never compiled by cargo.
+
+use std::path::PathBuf;
+
+use nagano_lint::{lint_workspace, render_sarif, Baseline};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn seeded_defects_fire_at_their_exact_sites() {
+    let report = lint_workspace(&fixture_root("semantic")).expect("scan fixture workspace");
+    let got: Vec<(&str, &str, u32)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule, d.file.as_str(), d.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("O002", "crates/pagegen/src/render.rs", 12),
+            ("O001", "crates/pagegen/src/render.rs", 26),
+            ("L001", "crates/trigger/src/ledger.rs", 19),
+            ("L002", "crates/trigger/src/queue.rs", 28),
+        ],
+        "full report: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn l001_reports_both_acquisition_chains() {
+    let report = lint_workspace(&fixture_root("semantic")).expect("scan fixture workspace");
+    let l001 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "L001")
+        .expect("L001 fires");
+    // The message must name both locks and both hold-then-take chains,
+    // including the call edge the cycle crosses.
+    assert!(l001.message.contains("ledger.rs::ledger"), "{l001:?}");
+    assert!(l001.message.contains("queue.rs::inbox"), "{l001:?}");
+    assert!(
+        l001.message.contains("note_inbox_depth (call at line 20)"),
+        "{l001:?}"
+    );
+    assert!(
+        l001.message.contains("stamp_ledger (call at line 16)"),
+        "{l001:?}"
+    );
+}
+
+#[test]
+fn l002_names_the_blocking_call_and_the_held_guard() {
+    let report = lint_workspace(&fixture_root("semantic")).expect("scan fixture workspace");
+    let l002 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "L002")
+        .expect("L002 fires");
+    assert!(l002.message.contains("`.recv()`"), "{l002:?}");
+    assert!(l002.message.contains("drain_one"), "{l002:?}");
+    assert!(l002.message.contains("queue.rs::inbox"), "{l002:?}");
+}
+
+#[test]
+fn the_fixed_mirror_workspace_is_clean() {
+    let report = lint_workspace(&fixture_root("semantic_clean")).expect("scan mirror workspace");
+    assert!(
+        report.is_clean(),
+        "semantic_clean should be defect-free:\n{:#?}",
+        report.diagnostics
+    );
+    assert_eq!(report.files_scanned, 4);
+}
+
+#[test]
+fn a_baseline_written_from_the_report_suppresses_exactly_it() {
+    let report = lint_workspace(&fixture_root("semantic")).expect("scan fixture workspace");
+    let baseline = Baseline::from_report(&report.diagnostics);
+
+    // Round-trips through the text format.
+    let reparsed = Baseline::parse(&baseline.render()).expect("canonical render parses");
+    let outcome = reparsed.apply(report.diagnostics.clone());
+    assert!(outcome.remaining.is_empty(), "{:#?}", outcome.remaining);
+    assert_eq!(outcome.suppressed, report.diagnostics.len());
+    assert!(outcome.slack.is_empty());
+
+    // The ratchet only goes one way: an empty baseline suppresses
+    // nothing.
+    let empty = Baseline::parse("# nothing budgeted\n").expect("empty baseline parses");
+    assert_eq!(
+        empty.apply(report.diagnostics.clone()).remaining.len(),
+        report.diagnostics.len()
+    );
+}
+
+#[test]
+fn sarif_export_carries_the_semantic_findings() {
+    let report = lint_workspace(&fixture_root("semantic")).expect("scan fixture workspace");
+    let sarif = render_sarif(&report.diagnostics, report.files_scanned);
+    for rule in ["L001", "L002", "O001", "O002"] {
+        assert!(
+            sarif.contains(&format!("\"ruleId\":\"{rule}\"")),
+            "missing result for {rule}"
+        );
+    }
+    assert!(sarif.contains("\"uri\":\"crates/trigger/src/queue.rs\""));
+    assert!(sarif.contains("\"startLine\":28"));
+}

@@ -171,6 +171,7 @@ impl Renderer {
                             .iter()
                             .find(|r| r.is_final && r.rank == 1)
                         {
+                            // nagano-lint: allow(O001) — athlete names are immutable after seeding; the winner line is refreshed by the `data:event:*` edge pushed above for this event
                             if let Some(a) = self.db.athlete(winner.athlete) {
                                 let _ = writeln!(html, "<p>Gold: {}</p>", a.name);
                             }
@@ -249,6 +250,18 @@ impl Renderer {
                 let country = self.db.country(c);
                 let name = country.map(|x| x.name).unwrap_or_else(|| "Unknown".into());
                 let _ = writeln!(html, "<h2>{name}</h2>");
+                if let Some((_, m)) = self
+                    .db
+                    .medal_standings()
+                    .iter()
+                    .find(|(code, _)| *code == c)
+                {
+                    let _ = writeln!(
+                        html,
+                        "<p class=\"medal-box\">Gold {} · Silver {} · Bronze {}</p>",
+                        m.gold, m.silver, m.bronze
+                    );
+                }
                 for a in self.db.athletes_of_country(c).iter().take(50) {
                     let _ = writeln!(
                         html,
@@ -367,6 +380,7 @@ impl Renderer {
                 for r in self.db.results_for_event(e) {
                     let who = self
                         .db
+                        // nagano-lint: allow(O001) — athlete names are immutable after seeding; result changes reach this fragment through the `data:event:*` edge pushed above
                         .athlete(r.athlete)
                         .map(|a| a.name)
                         .unwrap_or_else(|| format!("athlete {}", r.athlete.0));
@@ -385,6 +399,7 @@ impl Renderer {
                 for (c, m) in self.db.medal_standings().iter().take(15) {
                     let code = self
                         .db
+                        // nagano-lint: allow(O001) — country codes are immutable after seeding; standings changes reach this fragment through its `data:medals:*` edge
                         .country(*c)
                         .map(|x| x.code)
                         .unwrap_or_else(|| c.to_string());

@@ -169,3 +169,26 @@ fn different_seeds_actually_change_the_exports() {
     let right = std::fs::read(c.join("metrics.json")).expect("read seed-43 metrics.json");
     assert_ne!(left, right, "seed must influence exported telemetry");
 }
+
+#[test]
+fn lint_json_export_is_byte_identical_across_runs() {
+    // The static gate falls under the same determinism contract as the
+    // telemetry: two scans of the same tree must produce the same
+    // bytes (sorted findings, ordered file walk — no map-order or
+    // inode-order leaks), and the tree itself must be clean.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+    let first = nagano_lint::lint_workspace(&root).expect("first scan");
+    let second = nagano_lint::lint_workspace(&root).expect("second scan");
+    assert!(first.files_scanned > 50, "scanned {}", first.files_scanned);
+    assert!(
+        first.is_clean(),
+        "workspace has lint findings:\n{:#?}",
+        first.diagnostics
+    );
+    let left = nagano_lint::render_json(&first.diagnostics, first.files_scanned);
+    let right = nagano_lint::render_json(&second.diagnostics, second.files_scanned);
+    assert_eq!(left, right, "lint --json output must be byte-identical");
+    let sarif_a = nagano_lint::render_sarif(&first.diagnostics, first.files_scanned);
+    let sarif_b = nagano_lint::render_sarif(&second.diagnostics, second.files_scanned);
+    assert_eq!(sarif_a, sarif_b, "SARIF output must be byte-identical");
+}
