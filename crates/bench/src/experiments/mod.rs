@@ -40,6 +40,8 @@ pub fn cluster_config(config: &ExpConfig, policy: ConsistencyPolicy) -> ClusterC
         end_day: 16,
         failure_plan: Vec::new(),
         fault_plan: Vec::new(),
+        serving_fault_plan: Vec::new(),
+        resilience: None,
         us_congestion: (7, 9, 1.45),
         updates_on_serving_nodes: false,
         export_dir: Some(

@@ -5,8 +5,8 @@
 use serde_json::json;
 
 use nagano_cluster::{
-    random_fault_plan, random_soak_plan, scripted_chaos_plan, ClusterSim, FailureKind,
-    FailurePlanEntry, SITES,
+    random_fault_plan, random_soak_plan, scripted_chaos_plan, scripted_serving_plan, ClusterSim,
+    FailureKind, FailurePlanEntry, ServingResilience, SITES,
 };
 use nagano_pagegen::{NavigationModel, SiteStructure};
 use nagano_simcore::{DeterministicRng, SimTime};
@@ -371,6 +371,137 @@ pub fn nav(config: &ExpConfig) -> ExpResult {
 
 /// One-screen scoreboard of the headline reproductions, drawn from the
 /// memoized runs (cheap after `reproduce all`; self-contained otherwise).
+/// Serving-plane chaos: one Olympic day under the scripted fault
+/// schedule — a 10× render slowdown through the morning peak, two
+/// backend outages, and a cache cold-restart — served by the resilience
+/// stack (single-flight coalescing, stale tombstones, per-request
+/// deadlines, seeded retry backoff, circuit breakers). The same day with
+/// resilience on but no faults is the comparison baseline.
+pub fn resilience(config: &ExpConfig) -> ExpResult {
+    let day = 10;
+    let build = |faulted: bool| {
+        let mut cfg = cluster_config(config, ConsistencyPolicy::Invalidate);
+        cfg.start_day = day;
+        cfg.end_day = day;
+        cfg.resilience = Some(ServingResilience::default());
+        cfg.export_dir =
+            faulted.then(|| std::path::PathBuf::from("target/experiments/telemetry/resilience"));
+        if faulted {
+            cfg.serving_fault_plan = scripted_serving_plan(day);
+        }
+        cfg
+    };
+    let clean = ClusterSim::new(build(false)).run();
+    let cfg = build(true);
+    let n_faults = cfg.serving_fault_plan.iter().filter(|e| !e.up).count();
+    let report = ClusterSim::new(cfg).run();
+
+    let pct = |v: f64| format!("{:.3}%", v * 100.0);
+    let p99_ms = |r: &nagano_cluster::ClusterReport| r.serve_latency.percentile(99.0) * 1_000.0;
+    let mut metrics = TextTable::new(["metric", "clean", "faulted"]);
+    metrics
+        .row([
+            "availability (non-error)".to_string(),
+            pct(clean.availability()),
+            pct(report.availability()),
+        ])
+        .row([
+            "requests failed".to_string(),
+            thousands(clean.failed_requests as f64),
+            thousands(report.failed_requests as f64),
+        ])
+        .row([
+            "stale serves".to_string(),
+            thousands(clean.cache.stale_served as f64),
+            thousands(report.cache.stale_served as f64),
+        ])
+        .row([
+            "stale-serve rate".to_string(),
+            pct(clean.stale_serve_rate()),
+            pct(report.stale_serve_rate()),
+        ])
+        .row([
+            "coalesced misses".to_string(),
+            thousands(clean.cache.coalesced as f64),
+            thousands(report.cache.coalesced as f64),
+        ])
+        .row([
+            "demand regenerations".to_string(),
+            thousands(clean.demand_fills as f64),
+            thousands(report.demand_fills as f64),
+        ])
+        .row([
+            "regens per stale key".to_string(),
+            format!("{:.2}", clean.regens_per_stale_key()),
+            format!("{:.2}", report.regens_per_stale_key()),
+        ])
+        .row([
+            "breaker trips".to_string(),
+            thousands(clean.breaker_trips as f64),
+            thousands(report.breaker_trips as f64),
+        ])
+        .row([
+            "render retry attempts".to_string(),
+            thousands(clean.render_retries as f64),
+            thousands(report.render_retries as f64),
+        ])
+        .row([
+            "service p99".to_string(),
+            format!("{:.1} ms", p99_ms(&clean)),
+            format!("{:.1} ms", p99_ms(&report)),
+        ]);
+
+    let floor_met = report.availability() >= 0.99;
+    let bounded_regens = report.regens_per_stale_key() <= 1.5;
+    let verdict = format!(
+        "Scripted serving-plane chaos on day {day}: {n_faults} faults (10x render \
+         slowdown, 2 backend outages, 1 cache cold-restart). Availability \
+         {:.3}% (floor 99%: {}), {} responses answered from bounded-age stale \
+         copies ({:.3}% of traffic), {} concurrent misses coalesced onto \
+         in-flight regenerations, {:.2} regenerations per stale key \
+         (single-flight bound 1.5: {}), {} breaker trips. Service p99 \
+         {:.1} ms clean vs {:.1} ms faulted.",
+        report.availability() * 100.0,
+        floor_met,
+        report.cache.stale_served,
+        report.stale_serve_rate() * 100.0,
+        report.cache.coalesced,
+        report.regens_per_stale_key(),
+        bounded_regens,
+        report.breaker_trips,
+        p99_ms(&clean),
+        p99_ms(&report),
+    );
+    ExpResult {
+        id: "resilience",
+        title: "Serving-plane fault injection (scripted resilience schedule)",
+        rendered: metrics.render(),
+        json: json!({
+            "day": day,
+            "faults": n_faults,
+            "availability_clean": clean.availability(),
+            "availability_faulted": report.availability(),
+            "availability_floor_met": floor_met,
+            "failed_requests_clean": clean.failed_requests,
+            "failed_requests_faulted": report.failed_requests,
+            "stale_served": report.cache.stale_served,
+            "stale_serve_rate": report.stale_serve_rate(),
+            "coalesced": report.cache.coalesced,
+            "demand_fills_clean": clean.demand_fills,
+            "demand_fills_faulted": report.demand_fills,
+            "stale_regens": report.stale_regens,
+            "stale_regen_keys": report.stale_regen_keys,
+            "regens_per_stale_key": report.regens_per_stale_key(),
+            "regens_bounded": bounded_regens,
+            "breaker_trips": report.breaker_trips,
+            "render_retries": report.render_retries,
+            "service_p99_ms_clean": p99_ms(&clean),
+            "service_p99_ms_faulted": p99_ms(&report),
+        }),
+        verdict,
+    }
+}
+
 pub fn summary(config: &ExpConfig) -> ExpResult {
     let report = full_report(config);
     let inval = super::report_for_policy(config, ConsistencyPolicy::Invalidate);

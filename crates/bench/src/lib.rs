@@ -36,6 +36,7 @@
 //! | `contention` | 1996 co-located updates vs 1998 separation |
 //! | `soak` | random-failure soak across the Games (availability) |
 //! | `chaos` | data-plane fault injection: scripted lossy/partitioned links + monitor crashes |
+//! | `resilience` | serving-plane fault injection: render slowdown, backend outages, cache cold-restart |
 //! | `summary` | one-screen headline scoreboard |
 
 #![forbid(unsafe_code)]
@@ -103,7 +104,7 @@ impl ExpResult {
 }
 
 /// All experiment ids in canonical order.
-pub const ALL_EXPERIMENTS: [&str; 26] = [
+pub const ALL_EXPERIMENTS: [&str; 27] = [
     "fig18",
     "fig20",
     "fig21",
@@ -129,6 +130,7 @@ pub const ALL_EXPERIMENTS: [&str; 26] = [
     "contention",
     "soak",
     "chaos",
+    "resilience",
     "summary",
 ];
 
@@ -161,6 +163,7 @@ pub fn run_experiment(id: &str, config: &ExpConfig) -> Option<ExpResult> {
         "contention" => e::systems::contention(config),
         "soak" => e::systems::soak(config),
         "chaos" => e::systems::chaos(config),
+        "resilience" => e::systems::resilience(config),
         "summary" => e::systems::summary(config),
         _ => return None,
     })

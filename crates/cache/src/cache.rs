@@ -14,7 +14,9 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Duration;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -22,6 +24,24 @@ use rustc_hash::{FxHashMap, FxHasher};
 
 use crate::policy::{Rank, ReplacementPolicy};
 use crate::stats::{CacheStats, StatsSnapshot};
+
+/// Retention policy for stale copies: evicted or invalidated bodies are
+/// kept as *tombstones* so the serving path can fall back to a bounded-age
+/// stale copy when regeneration is slow or the backend is down
+/// (serve-stale-on-error / stale-while-revalidate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StalePolicy {
+    /// Maximum age, in seconds of cache-clock time (see
+    /// [`PageCache::set_now_secs`]), a stale copy may still be served.
+    pub max_age_secs: f64,
+}
+
+impl StalePolicy {
+    /// Keep stale copies servable for up to `max_age_secs`.
+    pub fn bounded(max_age_secs: f64) -> Self {
+        StalePolicy { max_age_secs }
+    }
+}
 
 /// Configuration for a [`PageCache`].
 #[derive(Debug, Clone)]
@@ -33,6 +53,9 @@ pub struct CacheConfig {
     pub max_bytes: Option<u64>,
     /// Eviction policy when `max_bytes` is set.
     pub policy: ReplacementPolicy,
+    /// When set, evicted/invalidated bodies become servable stale
+    /// tombstones; `None` (the default) drops them outright.
+    pub stale: Option<StalePolicy>,
 }
 
 impl Default for CacheConfig {
@@ -41,6 +64,7 @@ impl Default for CacheConfig {
             shards: 16,
             max_bytes: None,
             policy: ReplacementPolicy::Unbounded,
+            stale: None,
         }
     }
 }
@@ -57,12 +81,19 @@ impl CacheConfig {
             shards: 16,
             max_bytes: Some(max_bytes),
             policy,
+            stale: None,
         }
     }
 
     /// Override the shard count.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Keep evicted/invalidated bodies as stale tombstones under `policy`.
+    pub fn with_stale(mut self, policy: StalePolicy) -> Self {
+        self.stale = Some(policy);
         self
     }
 }
@@ -74,6 +105,63 @@ pub struct CachedPage {
     pub body: Bytes,
     /// Monotonic per-entry version: 1 on insert, +1 per in-place update.
     pub version: u64,
+}
+
+/// A stale copy served in place of a fresh body.
+#[derive(Debug, Clone)]
+pub struct StaleCopy {
+    /// The last body the entry held before eviction/invalidation.
+    pub body: Bytes,
+    /// The version that body carried.
+    pub version: u64,
+    /// Stale epoch: increments every time the key goes live → stale, so
+    /// single-flight can pin "one regeneration per (key, stale-epoch)".
+    pub epoch: u64,
+    /// Seconds of cache-clock time the copy has been stale.
+    pub age_secs: f64,
+}
+
+/// One in-flight regeneration that concurrent misses coalesce onto.
+#[derive(Debug, Default)]
+struct Flight {
+    state: StdMutex<FlightState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct FlightState {
+    done: bool,
+    result: Option<CachedPage>,
+}
+
+/// Leader-side handle for an in-flight regeneration. The holder must
+/// finish with [`PageCache::complete_flight`] (passing `None` on failure)
+/// so followers wake; a token that is merely dropped leaves followers to
+/// their deadline, after which one of them takes the flight over.
+#[derive(Debug)]
+pub struct FlightToken {
+    key: Arc<str>,
+    flight: Arc<Flight>,
+}
+
+/// Outcome of [`PageCache::join_or_lead`] for a missed key.
+#[derive(Debug)]
+pub enum FlightOutcome {
+    /// No regeneration was in flight: the caller is now the leader and
+    /// must regenerate, then call [`PageCache::complete_flight`].
+    Lead(FlightToken),
+    /// Another caller's regeneration completed while we waited.
+    Joined(CachedPage),
+    /// The wait deadline expired (or the leader failed) with no result.
+    TimedOut,
+}
+
+#[derive(Debug)]
+struct StaleEntry {
+    body: Bytes,
+    version: u64,
+    epoch: u64,
+    since_us: u64,
 }
 
 #[derive(Debug)]
@@ -103,6 +191,17 @@ struct Shard {
     /// Keys whose `window_hits` went 0 → nonzero since the last drain, so
     /// draining walks only touched entries rather than the whole map.
     dirty: Vec<Arc<str>>,
+    /// Tombstoned stale copies (only populated under a [`StalePolicy`]).
+    /// Not charged against the byte budget: bodies are refcounted views
+    /// and the store is bounded by the policy's max age via pruning.
+    stale: FxHashMap<Arc<str>, StaleEntry>,
+    /// Count of live → stale transitions per key. Kept separately from
+    /// `stale` so the epoch survives a fresh body superseding (and
+    /// removing) the tombstone — single-flight pins "one regeneration per
+    /// (key, stale-epoch)" against this counter.
+    stale_epochs: FxHashMap<Arc<str>, u64>,
+    /// In-flight single-flight regenerations keyed by page.
+    flights: FxHashMap<Arc<str>, Arc<Flight>>,
 }
 
 impl Shard {
@@ -114,7 +213,33 @@ impl Shard {
             bytes: 0,
             inflation: 0.0,
             dirty: Vec::new(),
+            stale: FxHashMap::default(),
+            stale_epochs: FxHashMap::default(),
+            flights: FxHashMap::default(),
         }
+    }
+
+    /// Move a removed entry's body into the stale tombstone store,
+    /// bumping the key's stale epoch.
+    fn tombstone(&mut self, key: &str, body: Bytes, version: u64, now_us: u64) {
+        let k: Arc<str> = match self.stale_epochs.get_key_value(key) {
+            Some((k, _)) => Arc::clone(k),
+            None => Arc::from(key),
+        };
+        let epoch = {
+            let e = self.stale_epochs.entry(Arc::clone(&k)).or_insert(0);
+            *e += 1;
+            *e
+        };
+        self.stale.insert(
+            k,
+            StaleEntry {
+                body,
+                version,
+                epoch,
+                since_us: now_us,
+            },
+        );
     }
 
     fn touch(&mut self, key: &Arc<str>, policy: ReplacementPolicy) {
@@ -141,7 +266,15 @@ impl Shard {
     /// `protect` shields the entry that triggered the eviction (the page
     /// just inserted): without it, a fresh entry with zero hits would be
     /// the immediate LFU/GDS victim and nothing new could ever stay cached.
-    fn evict_to(&mut self, budget: u64, stats: &CacheStats, protect: Option<&str>) {
+    /// With `stale_now` set (a [`StalePolicy`] is active, value = current
+    /// cache-clock micros), victims are tombstoned instead of dropped.
+    fn evict_to(
+        &mut self,
+        budget: u64,
+        stats: &CacheStats,
+        protect: Option<&str>,
+        stale_now: Option<u64>,
+    ) {
         let mut skipped: Vec<Reverse<(Rank, u64, Arc<str>)>> = Vec::new();
         while self.bytes > budget {
             let Some(Reverse((rank, stamp, key))) = self.heap.pop() else {
@@ -165,6 +298,9 @@ impl Shard {
                     let size = e.body.len() as u64;
                     self.bytes -= size;
                     stats.evict(size);
+                    if let Some(now_us) = stale_now {
+                        self.tombstone(&key, e.body, e.version, now_us);
+                    }
                 }
             }
         }
@@ -196,6 +332,12 @@ pub struct PageCache {
     mask: usize,
     per_shard_budget: Option<u64>,
     policy: ReplacementPolicy,
+    stale: Option<StalePolicy>,
+    /// Cache-clock time in microseconds, advanced by the owner via
+    /// [`PageCache::set_now_secs`]; stale ages are measured against it.
+    /// Simulations feed it sim time, real deployments wall time — the
+    /// cache itself never reads a clock (determinism contract, D001).
+    now_us: AtomicU64,
     stats: Arc<CacheStats>,
 }
 
@@ -225,8 +367,27 @@ impl PageCache {
             mask: n - 1,
             per_shard_budget: config.max_bytes.map(|b| b / n as u64),
             policy: config.policy,
+            stale: config.stale,
+            now_us: AtomicU64::new(0),
             stats: Arc::new(CacheStats::default()),
         }
+    }
+
+    /// Advance the cache clock (monotonic micros derived from `secs`).
+    /// Stale-copy ages are measured against this clock, so the owner
+    /// decides what "time" means — sim time in the cluster simulation.
+    pub fn set_now_secs(&self, secs: f64) {
+        let us = (secs.max(0.0) * 1e6) as u64;
+        self.now_us.fetch_max(us, Relaxed);
+    }
+
+    fn now_us(&self) -> u64 {
+        self.now_us.load(Relaxed)
+    }
+
+    /// Current cache-clock micros when a stale policy is active.
+    fn stale_now(&self) -> Option<u64> {
+        self.stale.map(|_| self.now_us())
     }
 
     fn shard_for(&self, key: &str) -> &Mutex<Shard> {
@@ -336,19 +497,28 @@ impl PageCache {
                 shard.heap.push(Reverse((rank, tick, k)));
             }
         }
+        // A fresh body supersedes any tombstoned stale copy of the key.
+        if self.stale.is_some() {
+            shard.stale.remove(key);
+        }
         if let Some(budget) = self.per_shard_budget {
-            shard.evict_to(budget, &self.stats, Some(key));
+            shard.evict_to(budget, &self.stats, Some(key), self.stale_now());
         }
         version
     }
 
-    /// Remove `key`; returns whether it was present.
+    /// Remove `key`; returns whether it was present. Under a
+    /// [`StalePolicy`] the removed body is kept as a servable tombstone.
     pub fn invalidate(&self, key: &str) -> bool {
+        let stale_now = self.stale_now();
         let mut shard = self.shard_for(key).lock();
         if let Some(e) = shard.map.remove(key) {
             let size = e.body.len() as u64;
             shard.bytes -= size;
             self.stats.invalidate(size);
+            if let Some(now_us) = stale_now {
+                shard.tombstone(key, e.body, e.version, now_us);
+            }
             true
         } else {
             false
@@ -410,7 +580,9 @@ impl PageCache {
         self.shards.iter().map(|s| s.lock().bytes).sum()
     }
 
-    /// Drop every entry (counted as invalidations).
+    /// Drop every entry (counted as invalidations). This is a *cold*
+    /// restart: stale tombstones and in-flight regenerations are wiped
+    /// too, so a crashed shard recovers with nothing to serve stale from.
     pub fn clear(&self) {
         for s in &self.shards {
             let mut shard = s.lock();
@@ -423,6 +595,9 @@ impl PageCache {
                 }
             }
             shard.heap.clear();
+            shard.stale.clear();
+            shard.stale_epochs.clear();
+            shard.flights.clear();
         }
     }
 
@@ -515,8 +690,162 @@ impl PageCache {
                 shard.heap.push(Reverse((rank, tick, k)));
             }
         }
+        if self.stale.is_some() {
+            shard.stale.remove(key);
+        }
         if let Some(budget) = self.per_shard_budget {
-            shard.evict_to(budget, &self.stats, Some(key));
+            shard.evict_to(budget, &self.stats, Some(key), self.stale_now());
+        }
+    }
+
+    // ---- stale tombstones -------------------------------------------------
+
+    /// Serve the tombstoned stale copy of `key`, if one exists within the
+    /// policy's age bound. Counts a stale serve; an over-age copy is
+    /// pruned and `None` returned. Without a [`StalePolicy`] this is
+    /// always `None`.
+    pub fn serve_stale(&self, key: &str) -> Option<StaleCopy> {
+        let copy = self.lookup_stale(key, true)?;
+        self.stats.stale_serve();
+        Some(copy)
+    }
+
+    /// Like [`PageCache::serve_stale`] but without counting a stale serve
+    /// — used to *check* fallback coverage without skewing measurements.
+    pub fn peek_stale(&self, key: &str) -> Option<StaleCopy> {
+        self.lookup_stale(key, false)
+    }
+
+    fn lookup_stale(&self, key: &str, prune_expired: bool) -> Option<StaleCopy> {
+        let policy = self.stale?;
+        let now_us = self.now_us();
+        let mut shard = self.shard_for(key).lock();
+        let e = shard.stale.get(key)?;
+        let age_secs = now_us.saturating_sub(e.since_us) as f64 / 1e6;
+        if age_secs > policy.max_age_secs {
+            if prune_expired {
+                shard.stale.remove(key);
+            }
+            return None;
+        }
+        Some(StaleCopy {
+            body: e.body.clone(),
+            version: e.version,
+            epoch: e.epoch,
+            age_secs,
+        })
+    }
+
+    /// The key's current stale epoch: 0 while it has never been
+    /// tombstoned, otherwise the number of live → stale transitions.
+    /// Single-flight regeneration is pinned to "exactly one per
+    /// (key, stale-epoch)" by the resilience property tests.
+    pub fn stale_epoch(&self, key: &str) -> u64 {
+        self.shard_for(key)
+            .lock()
+            .stale_epochs
+            .get(key)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Number of tombstoned stale copies currently held.
+    pub fn stale_len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().stale.len()).sum()
+    }
+
+    /// Drop every tombstone older than the policy's age bound. Called by
+    /// the owner's heartbeat so dead keys do not accumulate.
+    pub fn prune_stale(&self) {
+        let Some(policy) = self.stale else { return };
+        let horizon_us = (policy.max_age_secs * 1e6) as u64;
+        let now_us = self.now_us();
+        for s in &self.shards {
+            let mut shard = s.lock();
+            shard
+                .stale
+                .retain(|_, e| now_us.saturating_sub(e.since_us) <= horizon_us);
+        }
+    }
+
+    // ---- single-flight regeneration ---------------------------------------
+
+    /// Coalesce a miss for `key` onto any in-flight regeneration.
+    ///
+    /// The first caller becomes the *leader* ([`FlightOutcome::Lead`]) and
+    /// must regenerate, then call [`PageCache::complete_flight`]. Callers
+    /// arriving while the flight is open are *followers*: they count one
+    /// coalesced miss, block up to `deadline`, and either observe the
+    /// leader's result ([`FlightOutcome::Joined`]) or give up
+    /// ([`FlightOutcome::TimedOut`] — typically falling back to
+    /// [`PageCache::serve_stale`]). A follower whose wait expires while
+    /// the flight is still open removes the (presumed dead) flight so the
+    /// next miss can lead again.
+    pub fn join_or_lead(&self, key: &str, deadline: Duration) -> FlightOutcome {
+        let flight = {
+            let mut shard = self.shard_for(key).lock();
+            match shard.flights.get(key) {
+                Some(f) => Arc::clone(f),
+                None => {
+                    let k: Arc<str> = Arc::from(key);
+                    let f = Arc::new(Flight::default());
+                    shard.flights.insert(Arc::clone(&k), Arc::clone(&f));
+                    return FlightOutcome::Lead(FlightToken { key: k, flight: f });
+                }
+            }
+        };
+        self.stats.coalesce();
+        let guard = match flight.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let (state, timeout) = match flight.cv.wait_timeout_while(guard, deadline, |s| !s.done) {
+            Ok((g, t)) => (g, t.timed_out()),
+            Err(poisoned) => {
+                let (g, t) = poisoned.into_inner();
+                (g, t.timed_out())
+            }
+        };
+        if state.done {
+            match &state.result {
+                Some(page) => FlightOutcome::Joined(page.clone()),
+                None => FlightOutcome::TimedOut, // leader failed
+            }
+        } else {
+            drop(state);
+            if timeout {
+                // Presume the leader dead: clear the flight (if it is
+                // still the same one) so the next miss can lead.
+                let mut shard = self.shard_for(key).lock();
+                if let Some(current) = shard.flights.get(key) {
+                    if Arc::ptr_eq(current, &flight) {
+                        shard.flights.remove(key);
+                    }
+                }
+            }
+            FlightOutcome::TimedOut
+        }
+    }
+
+    /// Finish a flight: publish `page` (or `None` on regeneration
+    /// failure) to every waiting follower and retire the flight. The
+    /// leader is responsible for having inserted the fresh body with
+    /// [`PageCache::put`] before completing.
+    pub fn complete_flight(&self, token: FlightToken, page: Option<CachedPage>) {
+        {
+            let mut state = match token.flight.state.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            state.done = true;
+            state.result = page;
+        }
+        token.flight.cv.notify_all();
+        let mut shard = self.shard_for(&token.key).lock();
+        if let Some(current) = shard.flights.get(&*token.key) {
+            if Arc::ptr_eq(current, &token.flight) {
+                shard.flights.remove(&*token.key);
+            }
         }
     }
 }
@@ -767,6 +1096,210 @@ mod tests {
             .sum();
         assert_eq!(c.bytes(), live_bytes);
         assert_eq!(c.stats().bytes_current, live_bytes);
+    }
+
+    fn stale_config(max_age_secs: f64) -> CacheConfig {
+        CacheConfig::default().with_stale(StalePolicy::bounded(max_age_secs))
+    }
+
+    #[test]
+    fn invalidation_tombstones_under_stale_policy() {
+        let c = PageCache::new(stale_config(60.0));
+        c.put("/a", body("v1"), 1.0);
+        c.put("/a", body("v2"), 1.0);
+        assert!(c.invalidate("/a"));
+        assert!(c.get("/a").is_none(), "live entry is gone");
+        let copy = c.serve_stale("/a").unwrap();
+        assert_eq!(&copy.body[..], b"v2");
+        assert_eq!(copy.version, 2);
+        assert_eq!(copy.epoch, 1);
+        assert_eq!(c.stats().stale_served, 1);
+        // A fresh body supersedes the tombstone.
+        c.put("/a", body("v3"), 1.0);
+        assert!(c.serve_stale("/a").is_none());
+        assert_eq!(c.stale_len(), 0);
+    }
+
+    #[test]
+    fn stale_epoch_counts_live_to_stale_transitions() {
+        let c = PageCache::new(stale_config(60.0));
+        assert_eq!(c.stale_epoch("/a"), 0);
+        c.put("/a", body("v1"), 1.0);
+        c.invalidate("/a");
+        assert_eq!(c.stale_epoch("/a"), 1);
+        c.put("/a", body("v2"), 1.0);
+        c.invalidate("/a");
+        assert_eq!(c.stale_epoch("/a"), 2);
+    }
+
+    #[test]
+    fn stale_age_is_bounded_by_the_policy() {
+        let c = PageCache::new(stale_config(30.0));
+        c.put("/a", body("v1"), 1.0);
+        c.set_now_secs(100.0);
+        c.invalidate("/a");
+        c.set_now_secs(120.0);
+        let copy = c.peek_stale("/a").unwrap();
+        assert!((copy.age_secs - 20.0).abs() < 1e-9);
+        c.set_now_secs(131.0); // 31 s stale > 30 s bound
+        assert!(c.serve_stale("/a").is_none());
+        assert_eq!(c.stale_len(), 0, "expired tombstone pruned on lookup");
+        assert_eq!(c.stats().stale_served, 0, "expired copy never counted");
+    }
+
+    #[test]
+    fn prune_stale_drops_expired_tombstones() {
+        let c = PageCache::new(stale_config(10.0));
+        c.put("/old", body("x"), 1.0);
+        c.invalidate("/old");
+        c.set_now_secs(5.0);
+        c.put("/new", body("y"), 1.0);
+        c.invalidate("/new");
+        c.set_now_secs(11.0);
+        c.prune_stale();
+        assert_eq!(c.stale_len(), 1);
+        assert!(c.peek_stale("/new").is_some());
+    }
+
+    #[test]
+    fn eviction_tombstones_under_stale_policy() {
+        let c = PageCache::new(
+            CacheConfig::bounded(20, ReplacementPolicy::Lru)
+                .with_shards(1)
+                .with_stale(StalePolicy::bounded(60.0)),
+        );
+        c.put("/a", body("aaaaaaaaaa"), 1.0);
+        c.put("/b", body("bbbbbbbbbb"), 1.0);
+        c.put("/c", body("cccccccccc"), 1.0); // evicts /a
+        assert!(!c.contains("/a"));
+        let copy = c.serve_stale("/a").unwrap();
+        assert_eq!(&copy.body[..], b"aaaaaaaaaa");
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn clear_is_a_cold_restart() {
+        let c = PageCache::new(stale_config(60.0));
+        c.put("/a", body("v1"), 1.0);
+        c.invalidate("/a");
+        assert_eq!(c.stale_len(), 1);
+        c.clear();
+        assert_eq!(c.stale_len(), 0);
+        assert!(c.serve_stale("/a").is_none());
+    }
+
+    #[test]
+    fn without_stale_policy_nothing_is_tombstoned() {
+        let c = PageCache::default();
+        c.put("/a", body("v1"), 1.0);
+        c.invalidate("/a");
+        assert!(c.serve_stale("/a").is_none());
+        assert_eq!(c.stale_epoch("/a"), 0);
+        assert_eq!(c.stale_len(), 0);
+    }
+
+    #[test]
+    fn single_flight_has_one_leader_and_counted_followers() {
+        let c = PageCache::default();
+        let token = match c.join_or_lead("/k", Duration::from_millis(10)) {
+            FlightOutcome::Lead(t) => t,
+            other => panic!("first caller must lead, got {other:?}"),
+        };
+        // A second caller while the flight is open times out (nobody
+        // completes it yet) and counts one coalesced miss.
+        match c.join_or_lead("/k", Duration::from_millis(5)) {
+            FlightOutcome::TimedOut => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(c.stats().coalesced, 1);
+        c.complete_flight(
+            token,
+            Some(CachedPage {
+                body: body("fresh"),
+                version: 1,
+            }),
+        );
+        // The flight is retired: the next miss leads again.
+        assert!(matches!(
+            c.join_or_lead("/k", Duration::from_millis(1)),
+            FlightOutcome::Lead(_)
+        ));
+    }
+
+    #[test]
+    fn followers_join_the_leaders_result_across_threads() {
+        use std::thread;
+        let c = Arc::new(PageCache::default());
+        let token = match c.join_or_lead("/page", Duration::from_secs(5)) {
+            FlightOutcome::Lead(t) => t,
+            other => panic!("expected lead, got {other:?}"),
+        };
+        let mut joiners = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            joiners.push(thread::spawn(move || {
+                c.join_or_lead("/page", Duration::from_secs(5))
+            }));
+        }
+        // Give followers a moment to attach, then publish.
+        thread::sleep(Duration::from_millis(20));
+        c.put("/page", body("fresh"), 1.0);
+        let page = c.peek("/page").unwrap();
+        c.complete_flight(token, Some(page));
+        for j in joiners {
+            match j.join().unwrap() {
+                FlightOutcome::Joined(page) => assert_eq!(&page.body[..], b"fresh"),
+                // A follower that raced in after completion leads a
+                // fresh flight; it must still see the cached body.
+                FlightOutcome::Lead(t) => {
+                    let cached = c.peek("/page").unwrap();
+                    assert_eq!(&cached.body[..], b"fresh");
+                    c.complete_flight(t, Some(cached));
+                }
+                FlightOutcome::TimedOut => panic!("follower timed out"),
+            }
+        }
+    }
+
+    #[test]
+    fn failed_flight_wakes_followers_without_a_body() {
+        use std::thread;
+        let c = Arc::new(PageCache::default());
+        let token = match c.join_or_lead("/page", Duration::from_secs(5)) {
+            FlightOutcome::Lead(t) => t,
+            other => panic!("expected lead, got {other:?}"),
+        };
+        let follower = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || c.join_or_lead("/page", Duration::from_secs(5)))
+        };
+        thread::sleep(Duration::from_millis(20));
+        c.complete_flight(token, None);
+        match follower.join().unwrap() {
+            FlightOutcome::TimedOut => {}
+            FlightOutcome::Lead(t) => c.complete_flight(t, None),
+            FlightOutcome::Joined(_) => panic!("failed flight must not produce a body"),
+        }
+    }
+
+    #[test]
+    fn timed_out_follower_clears_a_dead_flight() {
+        let c = PageCache::default();
+        let token = match c.join_or_lead("/k", Duration::from_millis(1)) {
+            FlightOutcome::Lead(t) => t,
+            other => panic!("expected lead, got {other:?}"),
+        };
+        // Leader "dies" (token leaked, never completed). A follower's
+        // expired wait clears the flight so the key is not wedged.
+        std::mem::forget(token);
+        assert!(matches!(
+            c.join_or_lead("/k", Duration::from_millis(5)),
+            FlightOutcome::TimedOut
+        ));
+        assert!(matches!(
+            c.join_or_lead("/k", Duration::from_millis(1)),
+            FlightOutcome::Lead(_)
+        ));
     }
 
     #[test]

@@ -96,10 +96,25 @@ impl CacheFleet {
             total.updates += s.updates;
             total.invalidations += s.invalidations;
             total.evictions += s.evictions;
+            total.stale_served += s.stale_served;
+            total.coalesced += s.coalesced;
             total.bytes_current += s.bytes_current;
             total.bytes_peak += s.bytes_peak;
         }
         total
+    }
+
+    /// Advance every member's cache clock (stale-age bookkeeping).
+    pub fn set_now_secs(&self, secs: f64) {
+        for m in &self.members {
+            m.set_now_secs(secs);
+        }
+    }
+
+    /// Serve member `i`'s tombstoned stale copy of `key`, if any is
+    /// within its stale policy's age bound.
+    pub fn serve_stale_from(&self, i: usize, key: &str) -> Option<crate::StaleCopy> {
+        self.members[i].serve_stale(key)
     }
 
     /// Clear every member.

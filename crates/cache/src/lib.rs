@@ -22,6 +22,11 @@
 //!   members' hit counters once per sim minute; the hybrid propagation
 //!   policy uses it to regenerate hot pages and invalidate the cold tail
 //!   (DESIGN.md §12).
+//! * Serving-path resilience (DESIGN.md §11): per-shard *single-flight*
+//!   maps so concurrent misses for one key coalesce into one
+//!   regeneration ([`PageCache::join_or_lead`]), and an optional
+//!   [`StalePolicy`] that tombstones evicted/invalidated bodies for
+//!   bounded-age serve-stale-on-error ([`PageCache::serve_stale`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,7 +37,9 @@ pub mod hotness;
 pub mod policy;
 pub mod stats;
 
-pub use cache::{CacheConfig, CachedPage, PageCache};
+pub use cache::{
+    CacheConfig, CachedPage, FlightOutcome, FlightToken, PageCache, StaleCopy, StalePolicy,
+};
 pub use fleet::CacheFleet;
 pub use hotness::HotnessTracker;
 pub use policy::ReplacementPolicy;

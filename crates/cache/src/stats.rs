@@ -18,6 +18,8 @@ pub struct CacheStats {
     updates: Counter,
     invalidations: Counter,
     evictions: Counter,
+    stale_served: Counter,
+    coalesced: Counter,
     bytes_current: Gauge,
     bytes_peak: Gauge,
 }
@@ -37,6 +39,12 @@ pub struct StatsSnapshot {
     pub invalidations: u64,
     /// Capacity evictions.
     pub evictions: u64,
+    /// Lookups answered from a tombstoned stale copy (serve-stale-on-error
+    /// / stale-while-revalidate under the [`StalePolicy`](crate::StalePolicy)).
+    pub stale_served: u64,
+    /// Misses that coalesced onto an in-flight regeneration instead of
+    /// starting their own (single-flight followers).
+    pub coalesced: u64,
     /// Bytes currently cached.
     pub bytes_current: u64,
     /// High-water mark of cached bytes.
@@ -92,6 +100,16 @@ impl CacheStats {
         self.shrink(bytes);
     }
 
+    /// Record a lookup answered from a stale tombstone.
+    pub fn stale_serve(&self) {
+        self.stale_served.incr();
+    }
+
+    /// Record a miss that coalesced onto an in-flight regeneration.
+    pub fn coalesce(&self) {
+        self.coalesced.incr();
+    }
+
     fn grow(&self, bytes: u64) {
         let now = self.bytes_current.add(bytes);
         // Racy max update is fine: peak is advisory and monotone.
@@ -117,6 +135,12 @@ impl CacheStats {
             &self.invalidations,
         );
         registry.bind_counter("nagano_cache_evictions_total", labels, &self.evictions);
+        registry.bind_counter(
+            "nagano_cache_stale_served_total",
+            labels,
+            &self.stale_served,
+        );
+        registry.bind_counter("nagano_cache_coalesced_total", labels, &self.coalesced);
         registry.bind_gauge("nagano_cache_bytes_current", labels, &self.bytes_current);
         registry.bind_gauge("nagano_cache_bytes_peak", labels, &self.bytes_peak);
     }
@@ -130,6 +154,8 @@ impl CacheStats {
             updates: self.updates.get(),
             invalidations: self.invalidations.get(),
             evictions: self.evictions.get(),
+            stale_served: self.stale_served.get(),
+            coalesced: self.coalesced.get(),
             bytes_current: self.bytes_current.get(),
             bytes_peak: self.bytes_peak.get(),
         }
@@ -144,6 +170,8 @@ impl CacheStats {
         self.updates.reset();
         self.invalidations.reset();
         self.evictions.reset();
+        self.stale_served.reset();
+        self.coalesced.reset();
     }
 }
 

@@ -214,6 +214,105 @@ pub fn scripted_chaos_plan(start_day: u32) -> Vec<DataFaultPlanEntry> {
     plan
 }
 
+/// A serving-plane fault: the request → cache → regenerate path of one
+/// site, as opposed to the replication data plane above (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServingFaultKind {
+    /// Demand regeneration at `site` takes `factor ×` its modelled cost
+    /// (an overloaded or thrashing backend; the paper's "pathologically
+    /// long time to calculate" tier).
+    RenderSlowdown {
+        /// Site index (see [`crate::topology::SITES`]).
+        site: usize,
+        /// Cost multiplier while active (10.0 = ten times slower).
+        factor: f64,
+    },
+    /// The render/db backend at `site` is unreachable: demand fills fail
+    /// outright until the outage heals. Serving survives on cache hits,
+    /// stale tombstones, and the circuit breaker's fail-fast path.
+    BackendOutage {
+        /// Site index.
+        site: usize,
+    },
+    /// One member cache at `site` cold-restarts: live entries, stale
+    /// tombstones, and in-flight coalescing state are all wiped — the
+    /// stampede-on-restart scenario single-flight exists for. A point
+    /// event: the crash *is* the fault, so plan entries carry `up: false`
+    /// and no heal.
+    CacheShardCrash {
+        /// Site index.
+        site: usize,
+        /// Fleet member index within the site.
+        node: usize,
+    },
+}
+
+/// One scheduled serving-plane fault or heal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingFaultPlanEntry {
+    /// When it happens.
+    pub at: SimTime,
+    /// What faults or heals.
+    pub kind: ServingFaultKind,
+    /// `false` = fault starts, `true` = fault heals. Always `false` for
+    /// [`ServingFaultKind::CacheShardCrash`] (a point event).
+    pub up: bool,
+}
+
+/// The scripted one-day serving-fault schedule behind the `resilience`
+/// experiment: a 10× render slowdown through the morning peak, two
+/// backend outages, and one cache cold-restart in between — the
+/// acceptance scenario of DESIGN.md §11 (≥ 99% non-error responses with
+/// bounded staleness).
+pub fn scripted_serving_plan(day: u32) -> Vec<ServingFaultPlanEntry> {
+    let at = |h: u32, m: u32| SimTime::at(day, h, m);
+    let window = |kind: ServingFaultKind, from: SimTime, to: SimTime| {
+        [
+            ServingFaultPlanEntry {
+                at: from,
+                kind,
+                up: false,
+            },
+            ServingFaultPlanEntry {
+                at: to,
+                kind,
+                up: true,
+            },
+        ]
+    };
+    let mut plan = Vec::new();
+    // The morning peak regenerates ten times slower.
+    plan.extend(window(
+        ServingFaultKind::RenderSlowdown {
+            site: 0,
+            factor: 10.0,
+        },
+        at(9, 0),
+        at(11, 0),
+    ));
+    // First backend outage, mid-afternoon.
+    plan.extend(window(
+        ServingFaultKind::BackendOutage { site: 0 },
+        at(13, 0),
+        at(13, 20),
+    ));
+    // A serving cache cold-restarts between the outages: the stampede
+    // window the single-flight maps must flatten.
+    plan.push(ServingFaultPlanEntry {
+        at: at(14, 30),
+        kind: ServingFaultKind::CacheShardCrash { site: 0, node: 1 },
+        up: false,
+    });
+    // Second outage, evening, on a different site.
+    plan.extend(window(
+        ServingFaultKind::BackendOutage { site: 2 },
+        at(16, 0),
+        at(16, 15),
+    ));
+    plan.sort_by_key(|e| e.at);
+    plan
+}
+
 /// Generate a random data-plane fault plan: `events_per_day` faults per
 /// day across `start_day..=end_day`, each healing after 10 to 45
 /// minutes. At most one fault is in flight per edge or monitor at a time
@@ -328,6 +427,49 @@ mod tests {
                 fault: LinkFault::Partition
             }
         )));
+    }
+
+    #[test]
+    fn serving_plan_matches_the_acceptance_scenario() {
+        let plan = scripted_serving_plan(5);
+        assert!(plan.windows(2).all(|w| w[0].at <= w[1].at));
+        // One 10× render slowdown.
+        let slowdowns: Vec<_> = plan
+            .iter()
+            .filter(|e| matches!(e.kind, ServingFaultKind::RenderSlowdown { .. }))
+            .collect();
+        assert_eq!(slowdowns.len(), 2, "one slowdown window (fault + heal)");
+        assert!(slowdowns.iter().any(
+            |e| matches!(e.kind, ServingFaultKind::RenderSlowdown { factor, .. } if factor == 10.0)
+        ));
+        // Two backend outages.
+        assert_eq!(
+            plan.iter()
+                .filter(|e| matches!(e.kind, ServingFaultKind::BackendOutage { .. }) && !e.up)
+                .count(),
+            2
+        );
+        // One shard crash, a point event with no heal.
+        let crashes: Vec<_> = plan
+            .iter()
+            .filter(|e| matches!(e.kind, ServingFaultKind::CacheShardCrash { .. }))
+            .collect();
+        assert_eq!(crashes.len(), 1);
+        assert!(!crashes[0].up);
+        // Every windowed fault has a later matching heal.
+        for e in plan
+            .iter()
+            .filter(|e| !e.up && !matches!(e.kind, ServingFaultKind::CacheShardCrash { .. }))
+        {
+            assert!(
+                plan.iter().any(|h| h.up && h.kind == e.kind && h.at > e.at),
+                "unhealed serving fault {e:?}"
+            );
+        }
+        // All of it lands inside the requested day.
+        assert!(plan
+            .iter()
+            .all(|e| e.at >= SimTime::at(5, 0, 0) && e.at < SimTime::at(6, 0, 0)));
     }
 
     #[test]

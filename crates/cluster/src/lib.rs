@@ -33,12 +33,14 @@ pub mod state;
 pub mod topology;
 
 pub use faults::{
-    random_fault_plan, scripted_chaos_plan, DataFaultKind, DataFaultPlanEntry, EdgeSpec, LinkFault,
+    random_fault_plan, scripted_chaos_plan, scripted_serving_plan, DataFaultKind,
+    DataFaultPlanEntry, EdgeSpec, LinkFault, ServingFaultKind, ServingFaultPlanEntry,
     REPLICATION_EDGES,
 };
 pub use remote::RemoteSite;
 pub use sim::{
-    random_soak_plan, ClusterConfig, ClusterReport, ClusterSim, ConvergenceRecord, FailurePlanEntry,
+    random_soak_plan, ClusterConfig, ClusterReport, ClusterSim, ConvergenceRecord,
+    FailurePlanEntry, ServingResilience,
 };
 pub use state::{ClusterState, FailureKind, SiteState};
 pub use topology::{Advert, Msirp, RouteDecision, SiteId, SITES};

@@ -56,8 +56,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod resilience;
 pub mod site;
 
+pub use resilience::{BreakerConfig, BreakerState, CircuitBreaker, Deadline, RetryBackoff};
 pub use site::{PumpOutcome, ServedPage, ServingSite, SiteConfig, SiteMetrics};
 
 // Re-export the component crates under stable names.

@@ -1,0 +1,382 @@
+//! Serving-path resilience primitives (DESIGN.md §11).
+//!
+//! Three small, clock-free building blocks shared by the live serving
+//! site and the cluster simulation:
+//!
+//! * [`CircuitBreaker`] — a three-state (Closed → Open → HalfOpen)
+//!   breaker around the render/db backend. Time is *passed in* as
+//!   seconds (sim-time in the DES, a request tick count on the live
+//!   site), so the type never reads a wall clock (D001-clean).
+//! * [`RetryBackoff`] — bounded exponential backoff with full jitter
+//!   drawn from a caller-supplied [`DeterministicRng`], so retry
+//!   schedules are reproducible under a fixed seed (D002-clean).
+//! * [`Deadline`] — a per-request latency budget propagated into render
+//!   dispatch; followers of a single-flight regeneration wait at most
+//!   the remaining budget before falling back to a stale copy.
+
+use nagano_simcore::DeterministicRng;
+
+/// Breaker state, in the order transitions happen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, consecutive failures are counted.
+    Closed {
+        /// Consecutive failures seen so far (reset on success).
+        consecutive_failures: u32,
+    },
+    /// Tripped: requests fail fast (serve stale / shed) until `until`.
+    Open {
+        /// Time (seconds, caller's clock) when the breaker half-opens.
+        until: f64,
+    },
+    /// Probing: a limited number of trial requests are let through.
+    HalfOpen {
+        /// Successful probes so far.
+        probes_ok: u32,
+    },
+}
+
+/// Configuration for a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// Seconds the breaker stays Open before probing.
+    pub open_secs: f64,
+    /// Successful probes that close a HalfOpen breaker.
+    pub probe_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            open_secs: 10.0,
+            probe_successes: 2,
+        }
+    }
+}
+
+/// A three-state circuit breaker. All methods take `now` in seconds on
+/// whatever clock the caller runs (sim-time, request ticks); the breaker
+/// only compares and stores these values.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// Breaker trips since construction (Closed/HalfOpen → Open edges).
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed {
+                consecutive_failures: 0,
+            },
+            trips: 0,
+        }
+    }
+
+    /// Should this request be attempted against the backend? `false`
+    /// means fail fast (serve stale or shed). An Open breaker whose
+    /// window has elapsed transitions to HalfOpen and lets the probe
+    /// through.
+    pub fn allow(&mut self, now: f64) -> bool {
+        match self.state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen { .. } => true,
+            BreakerState::Open { until } => {
+                if now >= until {
+                    self.state = BreakerState::HalfOpen { probes_ok: 0 };
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful backend call.
+    pub fn record_success(&mut self) {
+        match self.state {
+            BreakerState::Closed { .. } => {
+                self.state = BreakerState::Closed {
+                    consecutive_failures: 0,
+                };
+            }
+            BreakerState::HalfOpen { probes_ok } => {
+                let probes_ok = probes_ok + 1;
+                self.state = if probes_ok >= self.config.probe_successes {
+                    BreakerState::Closed {
+                        consecutive_failures: 0,
+                    }
+                } else {
+                    BreakerState::HalfOpen { probes_ok }
+                };
+            }
+            BreakerState::Open { .. } => {} // stray completion; ignore
+        }
+    }
+
+    /// Record a failed (or timed-out) backend call.
+    pub fn record_failure(&mut self, now: f64) {
+        match self.state {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                let consecutive_failures = consecutive_failures + 1;
+                if consecutive_failures >= self.config.failure_threshold {
+                    self.trip(now);
+                } else {
+                    self.state = BreakerState::Closed {
+                        consecutive_failures,
+                    };
+                }
+            }
+            // A failed probe re-opens immediately.
+            BreakerState::HalfOpen { .. } => self.trip(now),
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    fn trip(&mut self, now: f64) {
+        self.trips += 1;
+        self.state = BreakerState::Open {
+            until: now + self.config.open_secs,
+        };
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// State name for status documents: `"closed"`, `"open"`, or
+    /// `"half_open"`.
+    pub fn state_name(&self) -> &'static str {
+        match self.state {
+            BreakerState::Closed { .. } => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen { .. } => "half_open",
+        }
+    }
+
+    /// Breaker trips since construction.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Seconds until an Open breaker admits a probe (0 otherwise) —
+    /// the honest `Retry-After` for a shed response.
+    pub fn retry_after_secs(&self, now: f64) -> f64 {
+        match self.state {
+            BreakerState::Open { until } => (until - now).max(0.0),
+            _ => 0.0,
+        }
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(BreakerConfig::default())
+    }
+}
+
+/// Bounded exponential backoff with full jitter.
+///
+/// Attempt `n` (0-based) sleeps `uniform(0, base · 2ⁿ)` seconds, capped
+/// at `max_secs` — AWS-style "full jitter", which de-synchronises
+/// retrying clients better than equal jitter at the same load. Jitter
+/// comes from a caller-supplied seeded RNG, never a global one.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryBackoff {
+    base_secs: f64,
+    max_secs: f64,
+    max_attempts: u32,
+    attempt: u32,
+}
+
+impl RetryBackoff {
+    /// A backoff schedule of at most `max_attempts` retries starting at
+    /// `base_secs`, with per-sleep cap `max_secs`.
+    pub fn new(base_secs: f64, max_secs: f64, max_attempts: u32) -> Self {
+        RetryBackoff {
+            base_secs,
+            max_secs,
+            max_attempts,
+            attempt: 0,
+        }
+    }
+
+    /// The next jittered sleep in seconds, or `None` once the attempt
+    /// budget is spent (give up; serve stale or shed).
+    pub fn next_delay(&mut self, rng: &mut DeterministicRng) -> Option<f64> {
+        if self.attempt >= self.max_attempts {
+            return None;
+        }
+        let ceiling = (self.base_secs * f64::from(1u32 << self.attempt.min(20))).min(self.max_secs);
+        self.attempt += 1;
+        Some(rng.range_f64(0.0, ceiling))
+    }
+
+    /// Retries consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Retries remaining.
+    pub fn remaining(&self) -> u32 {
+        self.max_attempts - self.attempt
+    }
+
+    /// Reset to attempt 0 (after a success).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+/// A per-request latency budget.
+///
+/// Created at request admission with the caller's clock; render dispatch
+/// and single-flight waits check the remaining budget instead of
+/// sleeping unboundedly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deadline {
+    start: f64,
+    budget_secs: f64,
+}
+
+impl Deadline {
+    /// A deadline of `budget_secs` starting at `now`.
+    pub fn new(now: f64, budget_secs: f64) -> Self {
+        Deadline {
+            start: now,
+            budget_secs,
+        }
+    }
+
+    /// Seconds left at `now` (0 when expired).
+    pub fn remaining(&self, now: f64) -> f64 {
+        (self.start + self.budget_secs - now).max(0.0)
+    }
+
+    /// Has the budget run out at `now`?
+    pub fn expired(&self, now: f64) -> bool {
+        self.remaining(now) <= 0.0
+    }
+
+    /// The total budget.
+    pub fn budget_secs(&self) -> f64 {
+        self.budget_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_trips_after_threshold_and_recovers_via_probes() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            open_secs: 10.0,
+            probe_successes: 2,
+        });
+        assert_eq!(b.state_name(), "closed");
+        assert!(b.allow(0.0));
+        b.record_failure(0.0);
+        b.record_failure(1.0);
+        assert_eq!(b.state_name(), "closed");
+        b.record_failure(2.0);
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.trips(), 1);
+        // Fail fast while open; honest Retry-After.
+        assert!(!b.allow(5.0));
+        assert!((b.retry_after_secs(5.0) - 7.0).abs() < 1e-9);
+        // Window elapses → half-open, probes admitted.
+        assert!(b.allow(12.0));
+        assert_eq!(b.state_name(), "half_open");
+        b.record_success();
+        assert_eq!(b.state_name(), "half_open");
+        b.record_success();
+        assert_eq!(b.state_name(), "closed");
+        assert_eq!(b.retry_after_secs(12.0), 0.0);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            open_secs: 5.0,
+            probe_successes: 1,
+        });
+        b.record_failure(0.0);
+        assert!(b.allow(5.0)); // half-open probe
+        b.record_failure(5.0);
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.trips(), 2);
+        assert!(!b.allow(9.0));
+        assert!(b.allow(10.0));
+        b.record_success();
+        assert_eq!(b.state_name(), "closed");
+    }
+
+    #[test]
+    fn closed_failures_reset_on_success() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            ..BreakerConfig::default()
+        });
+        b.record_failure(0.0);
+        b.record_success();
+        b.record_failure(1.0);
+        assert_eq!(b.state_name(), "closed", "success reset the streak");
+    }
+
+    #[test]
+    fn backoff_is_bounded_jittered_and_seeded() {
+        let mut rng = DeterministicRng::seed_from_u64(42);
+        let mut bo = RetryBackoff::new(0.1, 2.0, 4);
+        let mut ceilings = [0.1, 0.2, 0.4, 0.8].into_iter();
+        let mut delays = Vec::new();
+        while let Some(d) = bo.next_delay(&mut rng) {
+            let ceiling = ceilings.next().unwrap();
+            assert!((0.0..ceiling).contains(&d), "{d} within [0, {ceiling})");
+            delays.push(d);
+        }
+        assert_eq!(delays.len(), 4, "budget of 4 attempts");
+        assert_eq!(bo.remaining(), 0);
+        // Same seed → same schedule.
+        let mut rng2 = DeterministicRng::seed_from_u64(42);
+        let mut bo2 = RetryBackoff::new(0.1, 2.0, 4);
+        let replay: Vec<f64> = std::iter::from_fn(|| bo2.next_delay(&mut rng2)).collect();
+        assert_eq!(delays, replay);
+    }
+
+    #[test]
+    fn backoff_caps_at_max_and_resets() {
+        let mut rng = DeterministicRng::seed_from_u64(7);
+        let mut bo = RetryBackoff::new(1.0, 3.0, 40);
+        for _ in 0..40 {
+            let d = bo.next_delay(&mut rng).unwrap();
+            assert!(d < 3.0, "per-sleep cap holds even at huge exponents");
+        }
+        assert!(bo.next_delay(&mut rng).is_none());
+        bo.reset();
+        assert_eq!(bo.attempts(), 0);
+        assert!(bo.next_delay(&mut rng).is_some());
+    }
+
+    #[test]
+    fn deadline_budget_accounting() {
+        let d = Deadline::new(100.0, 2.5);
+        assert!((d.remaining(100.0) - 2.5).abs() < 1e-12);
+        assert!((d.remaining(101.0) - 1.5).abs() < 1e-12);
+        assert!(!d.expired(102.0));
+        assert!(d.expired(102.5));
+        assert_eq!(d.remaining(200.0), 0.0);
+        assert_eq!(d.budget_secs(), 2.5);
+    }
+}

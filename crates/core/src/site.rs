@@ -2,16 +2,21 @@
 //! system — database, renderer, trigger monitor, and a fleet of serving
 //! caches — behind a small API.
 
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::Bytes;
+use parking_lot::Mutex;
 
-use nagano_cache::{CacheConfig, CacheFleet, StatsSnapshot};
+use nagano_cache::{CacheConfig, CacheFleet, FlightOutcome, StatsSnapshot};
 use nagano_db::{seed_games, EventId, GamesConfig, OlympicDb};
-use nagano_httpd::{Handler, Request, Response, Server, ServerConfig};
+use nagano_httpd::{Handler, Request, Response, RetryAfterHint, Server, ServerConfig};
 use nagano_odg::StalenessPolicy;
 use nagano_pagegen::{PageKey, PageRegistry, Renderer};
 use nagano_trigger::{ConsistencyPolicy, TriggerMonitor, TriggerRunner, TriggerStatsSnapshot};
+
+use crate::resilience::CircuitBreaker;
 
 /// Configuration for a serving site.
 #[derive(Debug, Clone)]
@@ -33,6 +38,10 @@ pub struct SiteConfig {
     /// Warm every page and build the full ODG at construction (the
     /// production prefetch). Disable to study cold-start behaviour.
     pub prewarm: bool,
+    /// Per-request latency budget in seconds: a miss that coalesces onto
+    /// another node-local regeneration waits at most this long before
+    /// falling back to a stale copy (DESIGN.md §11).
+    pub request_budget_secs: f64,
 }
 
 impl SiteConfig {
@@ -46,6 +55,7 @@ impl SiteConfig {
             staleness: StalenessPolicy::Strict,
             cpu_scale: None,
             prewarm: true,
+            request_budget_secs: 2.0,
         }
     }
 
@@ -71,6 +81,9 @@ pub struct ServedPage {
     /// Cache version of the entry (1 on first insert, bumped on every
     /// in-place update); doubles as the HTTP entity tag.
     pub version: u64,
+    /// Whether the body is a tombstoned stale copy served because fresh
+    /// regeneration was unavailable within budget (serve-stale-on-error).
+    pub stale: bool,
 }
 
 impl ServedPage {
@@ -112,6 +125,19 @@ pub struct ServingSite {
     fleet: Arc<CacheFleet>,
     txn_rx: crossbeam::channel::Receiver<Arc<nagano_db::Transaction>>,
     marquee: (EventId, EventId),
+    /// Breaker around the render/db backend, visible in `/status`. The
+    /// live site has no wall clock: breaker time is the request tick
+    /// count, so `open_secs: 10` means "fail fast for ten requests".
+    breaker: Mutex<CircuitBreaker>,
+    /// Monotonic request counter doubling as the breaker's clock.
+    ticks: AtomicU64,
+    request_budget_secs: f64,
+    /// Live `Retry-After` advisory for shed 503s, derived from breaker
+    /// state; installed into servers bound via [`ServingSite::serve_http`].
+    retry_hint: RetryAfterHint,
+    /// Healthy-state `Retry-After` floor (the bound server's static
+    /// `retry_after_secs`), advertised while the breaker is closed.
+    retry_floor: AtomicU64,
 }
 
 impl ServingSite {
@@ -144,6 +170,11 @@ impl ServingSite {
             fleet,
             txn_rx,
             marquee,
+            breaker: Mutex::new(CircuitBreaker::default()),
+            ticks: AtomicU64::new(0),
+            request_budget_secs: config.request_budget_secs,
+            retry_hint: RetryAfterHint::new(2),
+            retry_floor: AtomicU64::new(2),
         }
     }
 
@@ -174,34 +205,129 @@ impl ServingSite {
     }
 
     /// Serve one request path from serving node `node` — the FastCGI
-    /// server-program path: check the cache; on a miss, generate, cache
-    /// locally, and register dependencies. Returns `None` for paths that
-    /// are not part of the site.
+    /// server-program path: check the cache; on a miss, coalesce onto any
+    /// in-flight regeneration of the same page (single-flight), otherwise
+    /// generate, cache locally, and register dependencies. When the
+    /// breaker is open or a coalesced wait overruns the request budget,
+    /// a tombstoned stale copy is served instead (`stale: true`).
+    /// Returns `None` for paths that are not part of the site.
     pub fn handle(&self, node: usize, path: &str) -> Option<ServedPage> {
         let key = PageKey::parse(path)?;
-        match self.fleet.get_from(node, &key.to_url()) {
-            Some(page) => Some(ServedPage {
+        let url = key.to_url();
+        let now = self.ticks.fetch_add(1, Relaxed) as f64;
+        if let Some(page) = self.fleet.get_from(node, &url) {
+            return Some(ServedPage {
                 body: page.body,
                 cache_hit: true,
                 cost_ms: 0.5,
                 version: page.version,
+                stale: false,
+            });
+        }
+        let member = self.fleet.member(node);
+        let budget = Duration::from_secs_f64(self.request_budget_secs);
+        match member.join_or_lead(&url, budget) {
+            FlightOutcome::Joined(page) => Some(ServedPage {
+                body: page.body,
+                cache_hit: false,
+                cost_ms: 0.5,
+                version: page.version,
+                stale: false,
             }),
-            None => {
-                let out = self.monitor.demand_fill(node, key);
-                let version = self
-                    .fleet
-                    .member(node)
-                    .peek(&key.to_url())
-                    .map(|p| p.version)
-                    .unwrap_or(1);
-                Some(ServedPage {
-                    body: out.body,
-                    cache_hit: false,
-                    cost_ms: out.cost_ms,
-                    version,
+            FlightOutcome::TimedOut => {
+                // The leader overran the budget or failed: fall back to
+                // a stale copy; with none, regenerate ourselves —
+                // availability over latency.
+                Some(match member.serve_stale(&url) {
+                    Some(copy) => ServedPage {
+                        body: copy.body,
+                        cache_hit: false,
+                        cost_ms: 0.5,
+                        version: copy.version,
+                        stale: true,
+                    },
+                    None => self.regenerate(node, key, &url),
                 })
             }
+            FlightOutcome::Lead(token) => {
+                // The guard is a statement temporary: it must be gone
+                // before `regenerate` re-locks the breaker below.
+                let admitted = self.breaker.lock().allow(now);
+                if !admitted {
+                    member.complete_flight(token, None);
+                    if let Some(copy) = member.serve_stale(&url) {
+                        return Some(ServedPage {
+                            body: copy.body,
+                            cache_hit: false,
+                            cost_ms: 0.5,
+                            version: copy.version,
+                            stale: true,
+                        });
+                    }
+                    // No stale copy to fail fast with: attempt the
+                    // render anyway rather than turn away a request the
+                    // backend might still serve.
+                    return Some(self.regenerate(node, key, &url));
+                }
+                let page = self.regenerate(node, key, &url);
+                member.complete_flight(token, member.peek(&url));
+                Some(page)
+            }
         }
+    }
+
+    /// Demand-fill `key` on `node` and record the outcome in the breaker
+    /// (the in-process renderer cannot fail, so this always succeeds;
+    /// the failure edges are exercised by the cluster simulation).
+    fn regenerate(&self, node: usize, key: PageKey, url: &str) -> ServedPage {
+        let out = self.monitor.demand_fill(node, key);
+        self.breaker.lock().record_success();
+        self.publish_retry_after();
+        let version = self
+            .fleet
+            .member(node)
+            .peek(url)
+            .map(|p| p.version)
+            .unwrap_or(1);
+        ServedPage {
+            body: out.body,
+            cache_hit: false,
+            cost_ms: out.cost_ms,
+            version,
+            stale: false,
+        }
+    }
+
+    /// Run `f` against the backend circuit breaker (status inspection,
+    /// fault injection in tests). Republish the `Retry-After` hint
+    /// afterwards so shed responses reflect the new state.
+    pub fn with_breaker<R>(&self, f: impl FnOnce(&mut CircuitBreaker) -> R) -> R {
+        let r = f(&mut self.breaker.lock());
+        self.publish_retry_after();
+        r
+    }
+
+    /// The live `Retry-After` advisory derived from breaker state. An
+    /// open breaker advertises its remaining open window; a healthy site
+    /// advertises the bound server's static floor.
+    pub fn retry_after_hint(&self) -> RetryAfterHint {
+        self.retry_hint.clone()
+    }
+
+    fn publish_retry_after(&self) {
+        let now = self.ticks.load(Relaxed) as f64;
+        let window = self.breaker.lock().retry_after_secs(now);
+        let secs = if window > 0.0 {
+            window.ceil() as u32
+        } else {
+            self.retry_floor.load(Relaxed) as u32
+        };
+        self.retry_hint.set_secs(secs);
+    }
+
+    /// Requests admitted so far — the breaker's clock.
+    pub fn request_ticks(&self) -> u64 {
+        self.ticks.load(Relaxed)
     }
 
     /// Synchronously process every transaction committed since the last
@@ -244,14 +370,30 @@ impl ServingSite {
         })
     }
 
-    /// Bind an HTTP server for serving node `node`.
+    /// Bind an HTTP server for serving node `node`. Unless the caller
+    /// installed its own hint, shed 503s advertise the site's live
+    /// breaker-derived `Retry-After` (the configured `retry_after_secs`
+    /// becomes the healthy-state floor).
     pub fn serve_http(
         self: &Arc<Self>,
         addr: &str,
         node: usize,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
+        let config = self.install_retry_hint(config);
         Server::bind(addr, self.http_handler(node), config)
+    }
+
+    /// Attach the site's live `Retry-After` hint to `config` (no-op if
+    /// the caller supplied a hint of its own).
+    fn install_retry_hint(&self, mut config: ServerConfig) -> ServerConfig {
+        if config.retry_after_hint.is_none() {
+            self.retry_floor
+                .store(u64::from(config.retry_after_secs), Relaxed);
+            self.publish_retry_after();
+            config.retry_after_hint = Some(self.retry_hint.clone());
+        }
+        config
     }
 
     /// The `/status` JSON document: registry size, ODG dimensions,
@@ -262,11 +404,16 @@ impl ServingSite {
     pub fn status_json(&self) -> String {
         let trig = self.monitor.stats().snapshot();
         let (odg_nodes, odg_edges) = self.monitor.graph_size();
+        let (breaker_state, breaker_trips) = {
+            let b = self.breaker.lock();
+            (b.state_name(), b.trips())
+        };
         let mut out = String::with_capacity(512);
         out.push_str(&format!(
             "{{\"pages\":{},\"odg\":{{\"nodes\":{},\"edges\":{}}},\
              \"trigger\":{{\"txns\":{},\"watermark\":{},\"deferred_depth\":{},\
-             \"deferred_shed\":{}}},\"caches\":[",
+             \"deferred_shed\":{}}},\"breaker\":{{\"state\":\"{}\",\"trips\":{}}},\
+             \"caches\":[",
             self.registry.len(),
             odg_nodes,
             odg_edges,
@@ -274,6 +421,8 @@ impl ServingSite {
             self.monitor.watermark(),
             trig.deferred_depth,
             trig.deferred_shed,
+            breaker_state,
+            breaker_trips,
         ));
         for (i, member) in self.fleet.members().iter().enumerate() {
             if i > 0 {
@@ -318,6 +467,7 @@ impl ServingSite {
         registry: Arc<nagano_telemetry::MetricsRegistry>,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
+        let config = self.install_retry_hint(config);
         Server::bind(addr, self.admin_handler(node, registry), config)
     }
 
@@ -540,10 +690,94 @@ mod tests {
         let doc = s.status_json();
         assert!(doc.starts_with(&format!("{{\"pages\":{}", s.registry().len())));
         assert!(doc.contains("\"deferred_depth\":0"));
+        assert!(doc.contains("\"breaker\":{\"state\":\"closed\",\"trips\":0}"));
         assert!(doc.contains("\"node\":0") && doc.contains("\"node\":1"));
         assert!(doc.contains("\"hits\":1"));
         // Deterministic: identical state, identical bytes.
         assert_eq!(doc, s.status_json());
+        // A tripped breaker shows up.
+        s.with_breaker(|b| {
+            for _ in 0..10 {
+                b.record_failure(0.0);
+            }
+        });
+        assert!(s
+            .status_json()
+            .contains("\"breaker\":{\"state\":\"open\",\"trips\":1}"));
+    }
+
+    #[test]
+    fn open_breaker_serves_stale_copy() {
+        let mut cfg = SiteConfig::small();
+        cfg.cache = CacheConfig::default().with_stale(nagano_cache::StalePolicy::bounded(3600.0));
+        let s = ServingSite::build(cfg);
+        let url = PageKey::parse("/medals").unwrap().to_url();
+        let before = s.handle(0, "/medals").unwrap();
+        assert!(before.cache_hit && !before.stale);
+        // Invalidate the page (tombstoning it) and trip the breaker.
+        s.fleet().invalidate_everywhere(&url);
+        s.with_breaker(|b| {
+            for _ in 0..10 {
+                b.record_failure(0.0);
+            }
+        });
+        assert!(s.with_breaker(|b| b.state_name() == "open"));
+        let page = s.handle(0, "/medals").unwrap();
+        assert!(page.stale, "open breaker falls back to the stale copy");
+        assert!(!page.cache_hit);
+        assert_eq!(page.body, before.body);
+        assert_eq!(s.metrics().cache.stale_served, 1);
+    }
+
+    #[test]
+    fn retry_after_hint_tracks_breaker_state() {
+        let s = Arc::new(site());
+        let server = s
+            .serve_http(
+                "127.0.0.1:0",
+                0,
+                ServerConfig {
+                    retry_after_secs: 3,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let hint = s.retry_after_hint();
+        assert_eq!(hint.get_secs(), 3, "healthy floor = configured static");
+        // Breaker opens (default window 10 tick-seconds): the hint now
+        // advertises the remaining open window.
+        s.with_breaker(|b| {
+            for _ in 0..10 {
+                b.record_failure(0.0);
+            }
+        });
+        assert_eq!(hint.get_secs(), 10);
+        // Recovery closes it; the hint returns to the floor.
+        s.with_breaker(|b| {
+            let now = 1e9; // far past the open window
+            assert!(b.allow(now));
+            b.record_success();
+            b.record_success();
+        });
+        assert_eq!(hint.get_secs(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn open_breaker_without_stale_copy_still_serves() {
+        let mut cfg = SiteConfig::small();
+        cfg.prewarm = false;
+        let s = ServingSite::build(cfg);
+        s.with_breaker(|b| {
+            for _ in 0..10 {
+                b.record_failure(0.0);
+            }
+        });
+        // No stale policy, nothing cached: availability wins — the
+        // request is rendered anyway rather than turned away.
+        let page = s.handle(0, "/medals").unwrap();
+        assert!(!page.stale && !page.cache_hit);
+        assert!(!page.body.is_empty());
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub use client::{HttpClient, LoadReport, LoadRunner};
 pub use http::{Request, Response, Status};
 pub use log::{AccessLog, LogAnalysis, LogEntry};
 pub use metrics::HttpdMetrics;
-pub use server::{Handler, RequestObserver, Server, ServerConfig};
+pub use server::{Handler, RequestObserver, RetryAfterHint, Server, ServerConfig};

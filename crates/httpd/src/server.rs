@@ -7,7 +7,7 @@
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -35,6 +35,33 @@ where
     }
 }
 
+/// A live, shared `Retry-After` value for shed (503) responses.
+///
+/// The serving site updates it from current breaker/backoff state (an
+/// open breaker advertises its remaining open window; a healthy site
+/// advertises its configured floor), so shed clients are told when a
+/// retry actually has a chance — instead of a static constant.
+#[derive(Debug, Clone, Default)]
+pub struct RetryAfterHint(Arc<AtomicU32>);
+
+impl RetryAfterHint {
+    /// A hint starting at `secs`.
+    pub fn new(secs: u32) -> Self {
+        RetryAfterHint(Arc::new(AtomicU32::new(secs)))
+    }
+
+    /// Publish a new advisory value (clamped to at least 1 second —
+    /// `Retry-After: 0` invites an immediate stampede).
+    pub fn set_secs(&self, secs: u32) {
+        self.0.store(secs.max(1), Relaxed);
+    }
+
+    /// The current advisory value.
+    pub fn get_secs(&self) -> u32 {
+        self.0.load(Relaxed)
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -45,8 +72,12 @@ pub struct ServerConfig {
     pub backlog: usize,
     /// Per-connection read timeout.
     pub read_timeout: Duration,
-    /// `Retry-After` seconds advertised on shed (503) responses.
+    /// Static `Retry-After` seconds advertised on shed (503) responses
+    /// when no [`ServerConfig::retry_after_hint`] is installed.
     pub retry_after_secs: u32,
+    /// When set, shed responses read their `Retry-After` from this live
+    /// hint at shed time instead of the static `retry_after_secs`.
+    pub retry_after_hint: Option<RetryAfterHint>,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +87,7 @@ impl Default for ServerConfig {
             backlog: 128,
             read_timeout: Duration::from_secs(5),
             retry_after_secs: 2,
+            retry_after_hint: None,
         }
     }
 }
@@ -115,7 +147,8 @@ impl Server {
 
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_shed = Arc::clone(&shed);
-        let retry_after = config.retry_after_secs;
+        let retry_after_static = config.retry_after_secs;
+        let retry_after_hint = config.retry_after_hint.clone();
         let accept_thread = std::thread::Builder::new()
             .name("httpd-accept".into())
             .spawn(move || {
@@ -134,6 +167,10 @@ impl Server {
                                 // it unboundedly (load shedding is the
                                 // fault tier below a node outage).
                                 accept_shed.fetch_add(1, Relaxed);
+                                let retry_after = retry_after_hint
+                                    .as_ref()
+                                    .map(RetryAfterHint::get_secs)
+                                    .unwrap_or(retry_after_static);
                                 shed_connection(s, retry_after);
                             }
                             Err(TrySendError::Disconnected(_)) => break,
@@ -441,6 +478,72 @@ mod tests {
         assert_eq!(&body[..], b"slow");
         drop(queued);
         assert_eq!(server.served(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn retry_after_hint_clamps_zero() {
+        let hint = RetryAfterHint::new(5);
+        assert_eq!(hint.get_secs(), 5);
+        hint.set_secs(0);
+        assert_eq!(hint.get_secs(), 1, "0 would invite an instant stampede");
+        hint.set_secs(30);
+        assert_eq!(hint.get_secs(), 30);
+    }
+
+    #[test]
+    fn shed_reads_the_live_retry_after_hint() {
+        use crossbeam::channel;
+        use std::io::Read;
+
+        let (started_tx, started_rx) = channel::bounded::<()>(1);
+        let (release_tx, release_rx) = channel::bounded::<()>(1);
+        let handler: Arc<dyn Handler> = Arc::new(move |_req: &Request| {
+            let _ = started_tx.send(());
+            let _ = release_rx.recv();
+            Response::html(Bytes::from_static(b"slow"))
+        });
+        let hint = RetryAfterHint::new(2);
+        let server = Server::bind(
+            "127.0.0.1:0",
+            handler,
+            ServerConfig {
+                workers: 1,
+                backlog: 1,
+                retry_after_secs: 7,
+                retry_after_hint: Some(hint.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let busy = std::thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).unwrap();
+            client.get("/slow").unwrap()
+        });
+        started_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("handler never started");
+        let queued = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+
+        // The breaker opened meanwhile: the site publishes a new value,
+        // and the next shed advertises it — not the static 7.
+        hint.set_secs(42);
+        let shed_stream = TcpStream::connect(addr).unwrap();
+        shed_stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut raw = String::new();
+        BufReader::new(shed_stream)
+            .read_to_string(&mut raw)
+            .unwrap();
+        assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+        assert!(raw.contains("Retry-After: 42\r\n"), "{raw}");
+
+        release_tx.send(()).unwrap();
+        busy.join().unwrap();
+        drop(queued);
         server.shutdown();
     }
 

@@ -20,6 +20,7 @@
 //! | O002 | no dead ODG edges (registered but never read) |
 //! | R001 | no `.unwrap()`/`.expect()` in `httpd`/`cache`/`trigger`/`odg` |
 //! | R002 | no unbounded crossbeam channels in serving/propagation crates |
+//! | R003 | retry loops bounded with seeded backoff — no bare `loop` retries or unjittered sleeps |
 //! | T001 | metric names match `nagano_<subsystem>_<metric>` |
 //! | T002 | trace span names match `nagano_<subsystem>_<name>`; registered metrics are documented in DESIGN.md |
 //!

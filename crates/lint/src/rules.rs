@@ -80,6 +80,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no crossbeam::channel::unbounded in serving/propagation crates — bound every queue",
     },
     RuleInfo {
+        id: "R003",
+        summary: "retry loops must be bounded with seeded backoff — no bare `loop` \
+                  retries, no unjittered sleeps inside a `loop` body",
+    },
+    RuleInfo {
         id: "T001",
         summary: "metric names must match nagano_<subsystem>_<metric>",
     },
@@ -127,6 +132,7 @@ struct Scope {
     d002: bool,
     r001: bool,
     r002: bool,
+    r003: bool,
 }
 
 impl Scope {
@@ -153,6 +159,11 @@ impl Scope {
                 krate,
                 "httpd" | "cache" | "trigger" | "odg" | "db" | "cluster" | "core" | "telemetry"
             ),
+            // The serving path plus core, where the resilience
+            // primitives (CircuitBreaker, RetryBackoff) live: a retry
+            // loop here must be bounded and jittered or it turns one
+            // backend hiccup into a synchronized stampede.
+            r003: matches!(krate, "httpd" | "cache" | "trigger" | "odg" | "core"),
         }
     }
 }
@@ -186,6 +197,9 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     }
     if scope.r002 {
         rule_r002(rel_path, &toks, &mut diags);
+    }
+    if scope.r003 {
+        rule_r003(rel_path, &toks, &mut diags);
     }
     rule_t001(rel_path, &toks, &mut diags);
     rule_t002(rel_path, &toks, &mut diags);
@@ -379,6 +393,103 @@ fn in_channel_use_group(toks: &[Token], i: usize) -> bool {
         }
     }
     false
+}
+
+/// Identifiers that mark a `loop` body as bounded and backoff-driven.
+const BACKOFF_MARKERS: &[&str] = &["backoff", "max_attempts", "max_retries"];
+
+/// R003: retry loops must be bounded with seeded backoff. Fires on
+/// (a) a bare `loop` body that manipulates a `retry*` counter with no
+/// backoff or attempt bound in sight, and (b) a `sleep(...)` inside a
+/// `loop` body whose argument never references a backoff/delay/jitter
+/// value — a fixed-interval retry synchronizes every failing client
+/// into a stampede. `while`/`for` loops are exempt: the condition is
+/// their bound.
+fn rule_r003(file: &str, toks: &[Token], diags: &mut Vec<Diagnostic>) {
+    // Nested loops scan overlapping bodies; dedup sleep findings by line.
+    let mut sleep_lines: Vec<u32> = Vec::new();
+    for i in 0..toks.len() {
+        if ident(toks, i) != Some("loop") || !punct(toks, i + 1, '{') {
+            continue;
+        }
+        // The matching close brace bounds the loop body.
+        let body_start = i + 2;
+        let mut depth = 1i32;
+        let mut end = body_start;
+        while end < toks.len() {
+            match &toks[end].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        let body = &toks[body_start..end];
+        let has_marker = body.iter().any(|t| match &t.kind {
+            TokKind::Ident(s) => BACKOFF_MARKERS.iter().any(|m| s.contains(m)),
+            _ => false,
+        });
+        let retries = body.iter().any(|t| match &t.kind {
+            TokKind::Ident(s) => s.starts_with("retry"),
+            _ => false,
+        });
+        if retries && !has_marker {
+            diags.push(Diagnostic {
+                rule: "R003",
+                file: file.to_string(),
+                line: toks[i].line,
+                message: "unbounded retry loop with no backoff".to_string(),
+                suggestion: "bound the attempts and space them with the seeded \
+                             nagano::RetryBackoff (exponential delay + jitter drawn from \
+                             the run's DeterministicRng) so failures shed instead of spin"
+                    .to_string(),
+            });
+        }
+        for k in 0..body.len() {
+            if ident(body, k) != Some("sleep") || !punct(body, k + 1, '(') {
+                continue;
+            }
+            let line = body[k].line;
+            if sleep_lines.contains(&line) {
+                continue;
+            }
+            // Scan the argument list for a backoff-derived delay.
+            let mut arg_depth = 1i32;
+            let mut j = k + 2;
+            let mut jittered = false;
+            while j < body.len() && arg_depth > 0 {
+                match &body[j].kind {
+                    TokKind::Punct('(') => arg_depth += 1,
+                    TokKind::Punct(')') => arg_depth -= 1,
+                    TokKind::Ident(s)
+                        if s.contains("backoff") || s.contains("delay") || s.contains("jitter") =>
+                    {
+                        jittered = true
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if !jittered {
+                sleep_lines.push(line);
+                diags.push(Diagnostic {
+                    rule: "R003",
+                    file: file.to_string(),
+                    line,
+                    message: "fixed-interval sleep inside a retry loop".to_string(),
+                    suggestion: "sleep for a RetryBackoff::next_delay value (seeded \
+                                 exponential backoff + jitter) instead of a constant; \
+                                 synchronized retries arrive as a thundering herd"
+                        .to_string(),
+                });
+            }
+        }
+    }
 }
 
 /// T001: metric names passed to registry methods must follow the
@@ -580,6 +691,24 @@ mod tests {
         assert!(lint_source("crates/cache/src/cache.rs", decoy).is_empty());
         let grouped = "use crossbeam::channel::{bounded, unbounded};";
         assert_eq!(lint_source("crates/httpd/src/server.rs", grouped).len(), 1);
+    }
+
+    #[test]
+    fn r003_scope_and_markers() {
+        let bare = "pub fn f() { let mut retry = 0; loop { retry += 1; } }";
+        assert_eq!(lint_source("crates/core/src/backoff.rs", bare).len(), 1);
+        assert!(
+            lint_source("crates/workload/src/gen.rs", bare).is_empty(),
+            "workload is outside the retry-discipline scope"
+        );
+        let bounded =
+            "pub fn f(b: &mut RetryBackoff) { loop { let Some(d) = b.backoff_delay() else \
+             { break }; use_it(d); } }";
+        assert!(lint_source("crates/core/src/backoff.rs", bounded).is_empty());
+        let fixed = "pub fn f() { loop { sleep(POLL_INTERVAL); } }";
+        assert_eq!(lint_source("crates/cache/src/cache.rs", fixed).len(), 1);
+        let jittered = "pub fn f(d: f64) { loop { sleep(jitter_delay(d)); } }";
+        assert!(lint_source("crates/cache/src/cache.rs", jittered).is_empty());
     }
 
     #[test]

@@ -1,0 +1,29 @@
+// Fixture: R003 — bare retry loops and unjittered sleeps.
+use std::thread::sleep;
+use std::time::Duration;
+
+pub fn fetch_forever() {
+    let mut retry_count = 0u32;
+    loop {
+        if try_once() {
+            break;
+        }
+        retry_count += 1;
+        sleep(Duration::from_millis(50));
+    }
+}
+
+// Not violations: the attempt bound and the seeded backoff delay make
+// the loop finite and jittered.
+pub fn fetch_bounded(rng: &mut DeterministicRng) {
+    let mut backoff = RetryBackoff::new(0.05, 0.4, 3);
+    loop {
+        if !try_once() {
+            break;
+        }
+        let Some(delay) = backoff.next_delay(rng) else {
+            break;
+        };
+        sleep(Duration::from_secs_f64(delay));
+    }
+}

@@ -1,0 +1,28 @@
+// Fixture: R003-clean — bounded attempts with seeded, jittered backoff.
+use std::thread::sleep;
+use std::time::Duration;
+
+pub fn fetch(rng: &mut DeterministicRng) {
+    let mut backoff = RetryBackoff::new(0.05, 0.4, 3);
+    loop {
+        if try_once() {
+            break;
+        }
+        let Some(delay) = backoff.next_delay(rng) else {
+            break;
+        };
+        sleep(Duration::from_secs_f64(delay));
+    }
+}
+
+// A sleep outside any `loop` body is not the rule's business.
+pub fn settle() {
+    sleep(Duration::from_millis(5));
+}
+
+// `while` loops carry their bound in the condition.
+pub fn drain(mut budget: u32) {
+    while budget > 0 {
+        budget -= 1;
+    }
+}

@@ -66,6 +66,18 @@ fn r002_fires_on_unbounded_channels_only() {
 }
 
 #[test]
+fn r003_fires_on_bare_retry_loops_and_unjittered_sleeps() {
+    let diags = lint_hot(include_str!("fixtures/r003.rs"));
+    assert_eq!(rules_of(&diags), vec!["R003", "R003"]);
+    assert_eq!(diags[0].line, 7, "bare retry loop");
+    assert_eq!(diags[1].line, 12, "fixed-interval sleep");
+    assert!(diags[0].message.contains("retry loop"));
+    assert!(diags[1].message.contains("sleep"));
+    assert!(diags[0].suggestion.contains("RetryBackoff"));
+    // The bounded, backoff-driven loop in the same fixture stays clean.
+}
+
+#[test]
 fn t001_fires_on_nonconforming_metric_names() {
     let diags = lint_hot(include_str!("fixtures/t001.rs"));
     assert_eq!(rules_of(&diags), vec!["T001", "T001"]);

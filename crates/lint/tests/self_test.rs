@@ -43,7 +43,7 @@ fn every_registered_rule_has_a_firing_and_a_clean_fixture() {
         let id = rule.id;
         let lower = id.to_ascii_lowercase();
         match id {
-            "A000" | "D001" | "D002" | "D003" | "R001" | "R002" | "T001" | "T002" => {
+            "A000" | "D001" | "D002" | "D003" | "R001" | "R002" | "R003" | "T001" | "T002" => {
                 let fixture = match id {
                     // A000's historical firing fixture doubles as the
                     // does-not-suppress test; a000.rs isolates the rule.

@@ -36,6 +36,7 @@ fn main() {
                 path: req.path.clone(),
                 status,
                 bytes,
+                stale: false,
             });
         })
     };

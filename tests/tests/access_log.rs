@@ -27,6 +27,7 @@ fn served_requests_are_logged_and_analyzable() {
                 path: req.path.clone(),
                 status,
                 bytes,
+                stale: false,
             });
         })
     };
@@ -69,4 +70,52 @@ fn served_requests_are_logged_and_analyzable() {
         "mean {}",
         analysis.mean_bytes()
     );
+    // No resilience fallback was involved: everything served fresh.
+    assert_eq!(analysis.stale, 0);
+    assert_eq!(analysis.fresh(), 9);
+}
+
+#[test]
+fn stale_serves_are_counted_separately_from_fresh() {
+    use nagano::cache::{CacheConfig, StalePolicy};
+
+    let mut cfg = SiteConfig::small();
+    cfg.cache = CacheConfig::default().with_stale(StalePolicy::bounded(3600.0));
+    let site = ServingSite::build(cfg);
+    let log = AccessLog::new(Vec::new());
+    let serve_and_log = |path: &str, secs: u64| {
+        let page = site.handle(0, path).expect("served");
+        log.log(&LogEntry {
+            host: "203.0.113.9".into(),
+            epoch_secs: secs,
+            method: "GET".into(),
+            path: path.into(),
+            status: 200,
+            bytes: page.body.len() as u64,
+            stale: page.stale,
+        })
+        .unwrap();
+    };
+
+    serve_and_log("/medals", 0); // fresh hit
+    serve_and_log("/day/3/", 1); // fresh hit
+
+    // The page is invalidated and the backend breaker trips: the next
+    // read falls back to the tombstoned stale copy.
+    site.fleet()
+        .invalidate_everywhere(&nagano::pagegen::PageKey::parse("/medals").unwrap().to_url());
+    site.with_breaker(|b| {
+        for _ in 0..10 {
+            b.record_failure(0.0);
+        }
+    });
+    serve_and_log("/medals", 2); // stale serve
+
+    let analysis = LogAnalysis::from_reader(BufReader::new(&log.into_inner()[..])).unwrap();
+    assert_eq!(analysis.total, 3);
+    assert_eq!(analysis.stale, 1, "one request answered from a stale copy");
+    assert_eq!(analysis.fresh(), 2);
+    assert!((analysis.stale_share() - 1.0 / 3.0).abs() < 1e-12);
+    // The stale marker round-trips through the CLF text.
+    assert_eq!(analysis.malformed, 0);
 }

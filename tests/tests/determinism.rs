@@ -8,7 +8,9 @@
 
 use std::path::{Path, PathBuf};
 
-use nagano_cluster::{scripted_chaos_plan, ClusterConfig, ClusterSim};
+use nagano_cluster::{
+    scripted_chaos_plan, scripted_serving_plan, ClusterConfig, ClusterSim, ServingResilience,
+};
 use nagano_db::GamesConfig;
 use nagano_simcore::SimTime;
 
@@ -156,6 +158,61 @@ fn same_seed_hybrid_runs_export_byte_identical_telemetry() {
         "nagano_trigger_weighted_staleness_seconds",
     ] {
         assert!(prom.contains(metric), "{metric} missing from hybrid export");
+    }
+}
+
+/// Like [`run_exporting`], but with the serving-plane resilience
+/// machinery on and the scripted serving-fault schedule active: render
+/// slowdowns, a backend outage (breaker trips + seeded retry backoff),
+/// and a cache cold-restart are all on the deterministic surface.
+fn run_resilience_exporting(seed: u64, tag: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join("determinism")
+        .join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    ClusterSim::new(ClusterConfig {
+        scale: 20_000.0,
+        seed,
+        games: GamesConfig::small(),
+        start_day: 10,
+        end_day: 10,
+        policy: nagano_trigger::ConsistencyPolicy::Invalidate,
+        serving_fault_plan: scripted_serving_plan(10),
+        resilience: Some(ServingResilience::default()),
+        export_dir: Some(dir.clone()),
+        ..Default::default()
+    })
+    .run();
+    dir
+}
+
+#[test]
+fn same_seed_resilience_runs_export_byte_identical_telemetry() {
+    // The resilience paths draw retry jitter from their own fork of the
+    // run seed; two same-seed runs must still replay byte-identically.
+    let a = run_resilience_exporting(42, "resilience42_a");
+    let b = run_resilience_exporting(42, "resilience42_b");
+    for name in EXPORTS {
+        let left = std::fs::read(a.join(name)).unwrap_or_else(|e| panic!("read {name}: {e}"));
+        let right = std::fs::read(b.join(name)).unwrap_or_else(|e| panic!("read {name}: {e}"));
+        assert!(!left.is_empty(), "{name} must not be empty");
+        assert_eq!(
+            left, right,
+            "{name} differs between two same-seed resilience runs — the \
+             serving-plane fault machinery leaked nondeterminism into telemetry"
+        );
+    }
+    // The schedule must actually exercise the resilience metrics.
+    let prom =
+        std::fs::read_to_string(a.join("metrics.prom")).expect("read resilience metrics.prom");
+    for metric in [
+        "nagano_cache_stale_served_total",
+        "nagano_cache_coalesced_total",
+    ] {
+        assert!(
+            prom.contains(metric),
+            "{metric} missing from resilience export"
+        );
     }
 }
 
