@@ -37,12 +37,14 @@
 //! | `soak` | random-failure soak across the Games (availability) |
 //! | `chaos` | data-plane fault injection: scripted lossy/partitioned links + monitor crashes |
 //! | `resilience` | serving-plane fault injection: render slowdown, backend outages, cache cold-restart |
+//! | `serving` | real-TCP serving hot path: baseline vs zero-copy, latency percentiles + capacity |
 //! | `summary` | one-screen headline scoreboard |
 
 #![forbid(unsafe_code)]
 
 pub mod experiments;
 pub mod fmt;
+pub mod loadgen;
 
 use serde_json::Value;
 
@@ -104,7 +106,7 @@ impl ExpResult {
 }
 
 /// All experiment ids in canonical order.
-pub const ALL_EXPERIMENTS: [&str; 27] = [
+pub const ALL_EXPERIMENTS: [&str; 28] = [
     "fig18",
     "fig20",
     "fig21",
@@ -131,6 +133,7 @@ pub const ALL_EXPERIMENTS: [&str; 27] = [
     "soak",
     "chaos",
     "resilience",
+    "serving",
     "summary",
 ];
 
@@ -164,6 +167,7 @@ pub fn run_experiment(id: &str, config: &ExpConfig) -> Option<ExpResult> {
         "soak" => e::systems::soak(config),
         "chaos" => e::systems::chaos(config),
         "resilience" => e::systems::resilience(config),
+        "serving" => e::serving::serving(config),
         "summary" => e::systems::summary(config),
         _ => return None,
     })

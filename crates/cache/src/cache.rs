@@ -15,7 +15,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -98,6 +98,25 @@ impl CacheConfig {
     }
 }
 
+/// Opaque preserialised response-head fragments stored alongside a cache
+/// entry: the bytes before and after whatever per-request piece the
+/// serving layer splices in. The cache never interprets them — it only
+/// computes them once per fill (via the installed [`HeadBuilder`]) so
+/// every hit skips header formatting entirely.
+#[derive(Debug, Clone)]
+pub struct PrebuiltHead {
+    /// Head bytes preceding the per-request fragment.
+    pub pre: Bytes,
+    /// Head bytes following it (through the end of the head).
+    pub post: Bytes,
+}
+
+/// Builds the preserialised head for a `(body, version)` pair. Installed
+/// once per cache by the serving layer — the cache stays protocol-
+/// agnostic — and invoked on insert/update/restore, never on the hit
+/// path.
+pub type HeadBuilder = Arc<dyn Fn(&Bytes, u64) -> PrebuiltHead + Send + Sync>;
+
 /// A successful cache lookup.
 #[derive(Debug, Clone)]
 pub struct CachedPage {
@@ -105,6 +124,9 @@ pub struct CachedPage {
     pub body: Bytes,
     /// Monotonic per-entry version: 1 on insert, +1 per in-place update.
     pub version: u64,
+    /// Preserialised head computed at fill time, when a [`HeadBuilder`]
+    /// is installed. Cloning is two refcount bumps.
+    pub head: Option<PrebuiltHead>,
 }
 
 /// A stale copy served in place of a fresh body.
@@ -168,6 +190,9 @@ struct StaleEntry {
 struct Entry {
     body: Bytes,
     version: u64,
+    /// Preserialised response head, recomputed whenever the body or
+    /// version changes (see [`HeadBuilder`]).
+    head: Option<PrebuiltHead>,
     cost: f64,
     pinned: bool,
     freq: u64,
@@ -338,6 +363,8 @@ pub struct PageCache {
     /// Simulations feed it sim time, real deployments wall time — the
     /// cache itself never reads a clock (determinism contract, D001).
     now_us: AtomicU64,
+    /// Optional head preserialiser, installed once by the serving layer.
+    head_builder: OnceLock<HeadBuilder>,
     stats: Arc<CacheStats>,
 }
 
@@ -369,8 +396,23 @@ impl PageCache {
             policy: config.policy,
             stale: config.stale,
             now_us: AtomicU64::new(0),
+            head_builder: OnceLock::new(),
             stats: Arc::new(CacheStats::default()),
         }
+    }
+
+    /// Install the builder invoked on every insert/update/restore to
+    /// preserialise the entry's response head. Install it before the
+    /// first fill (typically right after construction, before prewarm):
+    /// entries filled earlier stay headless until their next update.
+    /// Returns `false` if a builder was already installed (the first one
+    /// wins).
+    pub fn set_head_builder(&self, builder: HeadBuilder) -> bool {
+        self.head_builder.set(builder).is_ok()
+    }
+
+    fn build_head(&self, body: &Bytes, version: u64) -> Option<PrebuiltHead> {
+        self.head_builder.get().map(|b| b(body, version))
     }
 
     /// Advance the cache clock (monotonic micros derived from `secs`).
@@ -420,6 +462,7 @@ impl PageCache {
                 CachedPage {
                     body: e.body.clone(),
                     version: e.version,
+                    head: e.head.clone(),
                 },
             )
         });
@@ -443,6 +486,7 @@ impl PageCache {
         shard.map.get(key).map(|e| CachedPage {
             body: e.body.clone(),
             version: e.version,
+            head: e.head.clone(),
         })
     }
 
@@ -460,6 +504,7 @@ impl PageCache {
             let old = e.body.len() as u64;
             e.version += 1;
             version = e.version;
+            e.head = self.build_head(&body, version);
             e.body = body;
             e.cost = cost;
             e.stamp = tick;
@@ -477,11 +522,13 @@ impl PageCache {
         } else {
             let k: Arc<str> = Arc::from(key);
             version = 1;
+            let head = self.build_head(&body, 1);
             shard.map.insert(
                 Arc::clone(&k),
                 Entry {
                     body,
                     version: 1,
+                    head,
                     cost,
                     pinned: false,
                     freq: 0,
@@ -661,6 +708,7 @@ impl PageCache {
         let tick = shard.tick;
         if let Some(e) = shard.map.get_mut(key) {
             let old = e.body.len() as u64;
+            e.head = self.build_head(&body, version);
             e.body = body;
             e.cost = cost;
             e.version = version;
@@ -670,11 +718,13 @@ impl PageCache {
             self.stats.update(old, size);
         } else {
             let k: Arc<str> = Arc::from(key);
+            let head = self.build_head(&body, version);
             shard.map.insert(
                 Arc::clone(&k),
                 Entry {
                     body,
                     version,
+                    head,
                     cost,
                     pinned: false,
                     freq: 0,
@@ -1217,6 +1267,7 @@ mod tests {
             Some(CachedPage {
                 body: body("fresh"),
                 version: 1,
+                head: None,
             }),
         );
         // The flight is retired: the next miss leads again.
@@ -1300,6 +1351,52 @@ mod tests {
             c.join_or_lead("/k", Duration::from_millis(1)),
             FlightOutcome::Lead(_)
         ));
+    }
+
+    #[test]
+    fn head_builder_runs_on_fill_not_on_hit() {
+        use std::sync::atomic::AtomicUsize;
+        let c = PageCache::default();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&calls);
+        let installed = c.set_head_builder(Arc::new(move |body: &Bytes, version: u64| {
+            counter.fetch_add(1, Relaxed);
+            PrebuiltHead {
+                pre: Bytes::copy_from_slice(format!("len={}", body.len()).as_bytes()),
+                post: Bytes::copy_from_slice(format!("v={version}").as_bytes()),
+            }
+        }));
+        assert!(installed);
+        // The first builder wins; a second install is refused.
+        assert!(!c.set_head_builder(Arc::new(|_: &Bytes, _| PrebuiltHead {
+            pre: Bytes::new(),
+            post: Bytes::new(),
+        })));
+        c.put("/a", body("12345"), 1.0);
+        assert_eq!(calls.load(Relaxed), 1);
+        for _ in 0..10 {
+            let h = c.get("/a").unwrap().head.unwrap();
+            assert_eq!(&h.pre[..], b"len=5");
+            assert_eq!(&h.post[..], b"v=1");
+        }
+        assert_eq!(calls.load(Relaxed), 1, "hits never rebuild the head");
+        // Update-in-place recomputes for the new body and version.
+        c.put("/a", body("123"), 1.0);
+        let h = c.peek("/a").unwrap().head.unwrap();
+        assert_eq!(&h.pre[..], b"len=3");
+        assert_eq!(&h.post[..], b"v=2");
+        // Restore (peer resync) builds for the copied version.
+        c.restore_entry("/b", body("xy"), 1.0, 9);
+        let h = c.peek("/b").unwrap().head.unwrap();
+        assert_eq!(&h.pre[..], b"len=2");
+        assert_eq!(&h.post[..], b"v=9");
+    }
+
+    #[test]
+    fn without_head_builder_pages_are_headless() {
+        let c = PageCache::default();
+        c.put("/a", body("x"), 1.0);
+        assert!(c.get("/a").unwrap().head.is_none());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use rustc_hash::FxHashMap;
 
-use crate::cache::{CacheConfig, CachedPage, PageCache};
+use crate::cache::{CacheConfig, CachedPage, HeadBuilder, PageCache};
 use crate::hotness::{HotnessTracker, EWMA_ALPHA};
 use crate::stats::StatsSnapshot;
 
@@ -53,6 +53,17 @@ impl CacheFleet {
     /// Handle to member `i`.
     pub fn member(&self, i: usize) -> &Arc<PageCache> {
         &self.members[i]
+    }
+
+    /// Install `builder` on every member (see
+    /// [`PageCache::set_head_builder`]); returns `false` if any member
+    /// already had one.
+    pub fn set_head_builder(&self, builder: HeadBuilder) -> bool {
+        let mut all = true;
+        for m in &self.members {
+            all &= m.set_head_builder(Arc::clone(&builder));
+        }
+        all
     }
 
     /// All members.

@@ -18,6 +18,20 @@ use nagano_trigger::{ConsistencyPolicy, TriggerMonitor, TriggerRunner, TriggerSt
 
 use crate::resilience::CircuitBreaker;
 
+thread_local! {
+    /// Per-worker URL-formatting buffer for the request hot path:
+    /// [`ServingSite::respond`] renders the cache key into this instead
+    /// of allocating a `String` per request.
+    static URL_SCRATCH: std::cell::RefCell<String> =
+        std::cell::RefCell::new(String::with_capacity(32));
+}
+
+/// Parse a `"vN"` entity tag back to the cache version it names;
+/// `None` for any other validator shape (weak tags, junk).
+fn etag_version(etag: &str) -> Option<u64> {
+    etag.strip_prefix("\"v")?.strip_suffix('"')?.parse().ok()
+}
+
 /// Configuration for a serving site.
 #[derive(Debug, Clone)]
 pub struct SiteConfig {
@@ -38,6 +52,10 @@ pub struct SiteConfig {
     /// Warm every page and build the full ODG at construction (the
     /// production prefetch). Disable to study cold-start behaviour.
     pub prewarm: bool,
+    /// Preserialise each cache entry's HTTP head at fill time so hits
+    /// skip header formatting entirely. Disable to measure the
+    /// pre-rearchitecture baseline (`BENCH_serving.json`).
+    pub prebuilt_heads: bool,
     /// Per-request latency budget in seconds: a miss that coalesces onto
     /// another node-local regeneration waits at most this long before
     /// falling back to a stale copy (DESIGN.md §11).
@@ -55,6 +73,7 @@ impl SiteConfig {
             staleness: StalenessPolicy::Strict,
             cpu_scale: None,
             prewarm: true,
+            prebuilt_heads: true,
             request_budget_secs: 2.0,
         }
     }
@@ -148,6 +167,14 @@ impl ServingSite {
         let marquee = seed_games(&db, &config.games);
         let registry = Arc::new(PageRegistry::build(&db, config.games.days));
         let fleet = Arc::new(CacheFleet::new(config.fleet_size, config.cache.clone()));
+        if config.prebuilt_heads {
+            // Installed before the prewarm below so every prefetched page
+            // carries a ready-to-send head from its first fill.
+            fleet.set_head_builder(Arc::new(|body: &Bytes, version: u64| {
+                let (pre, post) = nagano_httpd::prebuilt_html_head(body.len(), version);
+                nagano_cache::PrebuiltHead { pre, post }
+            }));
+        }
         let mut renderer = Renderer::new(Arc::clone(&db));
         if let Some(scale) = config.cpu_scale {
             renderer = renderer.with_simulated_cpu(scale);
@@ -224,21 +251,29 @@ impl ServingSite {
                 stale: false,
             });
         }
+        Some(self.handle_miss(node, key, &url, now))
+    }
+
+    /// The slow path shared by [`ServingSite::handle`] and
+    /// [`ServingSite::respond`]: single-flight coalescing, breaker
+    /// admission, serve-stale fallback, demand regeneration. `now` is the
+    /// request tick observed before the cache lookup.
+    fn handle_miss(&self, node: usize, key: PageKey, url: &str, now: f64) -> ServedPage {
         let member = self.fleet.member(node);
         let budget = Duration::from_secs_f64(self.request_budget_secs);
-        match member.join_or_lead(&url, budget) {
-            FlightOutcome::Joined(page) => Some(ServedPage {
+        match member.join_or_lead(url, budget) {
+            FlightOutcome::Joined(page) => ServedPage {
                 body: page.body,
                 cache_hit: false,
                 cost_ms: 0.5,
                 version: page.version,
                 stale: false,
-            }),
+            },
             FlightOutcome::TimedOut => {
                 // The leader overran the budget or failed: fall back to
                 // a stale copy; with none, regenerate ourselves —
                 // availability over latency.
-                Some(match member.serve_stale(&url) {
+                match member.serve_stale(url) {
                     Some(copy) => ServedPage {
                         body: copy.body,
                         cache_hit: false,
@@ -246,8 +281,8 @@ impl ServingSite {
                         version: copy.version,
                         stale: true,
                     },
-                    None => self.regenerate(node, key, &url),
-                })
+                    None => self.regenerate(node, key, url),
+                }
             }
             FlightOutcome::Lead(token) => {
                 // The guard is a statement temporary: it must be gone
@@ -255,25 +290,69 @@ impl ServingSite {
                 let admitted = self.breaker.lock().allow(now);
                 if !admitted {
                     member.complete_flight(token, None);
-                    if let Some(copy) = member.serve_stale(&url) {
-                        return Some(ServedPage {
+                    if let Some(copy) = member.serve_stale(url) {
+                        return ServedPage {
                             body: copy.body,
                             cache_hit: false,
                             cost_ms: 0.5,
                             version: copy.version,
                             stale: true,
-                        });
+                        };
                     }
                     // No stale copy to fail fast with: attempt the
                     // render anyway rather than turn away a request the
                     // backend might still serve.
-                    return Some(self.regenerate(node, key, &url));
+                    return self.regenerate(node, key, url);
                 }
-                let page = self.regenerate(node, key, &url);
-                member.complete_flight(token, member.peek(&url));
-                Some(page)
+                let page = self.regenerate(node, key, url);
+                member.complete_flight(token, member.peek(url));
+                page
             }
         }
+    }
+
+    /// Serve one parsed HTTP request from serving node `node` — the
+    /// zero-copy hot path behind [`ServingSite::http_handler`]. A cache
+    /// hit whose entry carries a preserialised head becomes a prebuilt
+    /// [`Response`]: no header formatting, no ETag `String`, and the body
+    /// is a refcount bump of the cached buffer. A matching
+    /// `If-None-Match` validator is answered 304 straight from the
+    /// entry's version without ever touching the render pool. Misses and
+    /// headless entries fall through to the [`ServingSite::handle`]
+    /// machinery (single-flight, breaker, serve-stale).
+    pub fn respond(&self, node: usize, req: &Request) -> Response {
+        let Some(key) = PageKey::parse(&req.path) else {
+            return Response::not_found();
+        };
+        URL_SCRATCH.with(|cell| {
+            let mut url = cell.borrow_mut();
+            url.clear();
+            key.push_url(&mut url);
+            let now = self.ticks.fetch_add(1, Relaxed) as f64;
+            if let Some(page) = self.fleet.get_from(node, &url) {
+                // Revalidation is version arithmetic on the hit — the
+                // render pool is never consulted for a 304.
+                if let Some(inm) = req.if_none_match.as_deref() {
+                    if etag_version(inm) == Some(page.version) {
+                        return Response::not_modified(format!("\"v{}\"", page.version));
+                    }
+                }
+                return match page.head {
+                    Some(head) => Response::prebuilt(head.pre, head.post, page.body),
+                    None => {
+                        let etag = format!("\"v{}\"", page.version);
+                        Response::html(page.body).with_etag(etag)
+                    }
+                };
+            }
+            let page = self.handle_miss(node, key, &url, now);
+            let etag = page.etag();
+            if req.if_none_match.as_deref() == Some(etag.as_str()) {
+                Response::not_modified(etag)
+            } else {
+                Response::html(page.body).with_etag(etag)
+            }
+        })
     }
 
     /// Demand-fill `key` on `node` and record the outcome in the breaker
@@ -357,17 +436,7 @@ impl ServingSite {
     /// instead of a 55 KB transfer — until DUP bumps the version.
     pub fn http_handler(self: &Arc<Self>, node: usize) -> Arc<dyn Handler> {
         let site = Arc::clone(self);
-        Arc::new(move |req: &Request| match site.handle(node, &req.path) {
-            Some(page) => {
-                let etag = page.etag();
-                if req.if_none_match.as_deref() == Some(etag.as_str()) {
-                    Response::not_modified(etag)
-                } else {
-                    Response::html(page.body).with_etag(etag)
-                }
-            }
-            None => Response::not_found(),
-        })
+        Arc::new(move |req: &Request| site.respond(node, req))
     }
 
     /// Bind an HTTP server for serving node `node`. Unless the caller
@@ -626,6 +695,73 @@ mod tests {
         assert_ne!(new_etag, Some(etag));
         drop(client);
         server.shutdown();
+    }
+
+    fn get_request(path: &str, inm: Option<&str>) -> Request {
+        let mut req = Request::empty();
+        req.method.push_str("GET");
+        req.path.push_str(path);
+        req.keep_alive = true;
+        req.if_none_match = inm.map(str::to_string);
+        req
+    }
+
+    #[test]
+    fn respond_prebuilt_hit_serves_identical_bytes_to_formatted_path() {
+        let fast = site();
+        let mut cfg = SiteConfig::small();
+        cfg.prebuilt_heads = false;
+        let slow = ServingSite::build(cfg);
+        for path in ["/medals", "/day/3/", "/welcome"] {
+            let req = get_request(path, None);
+            let a = fast.respond(0, &req);
+            let b = slow.respond(0, &req);
+            assert!(a.prebuilt.is_some(), "{path}: fast path took slow route");
+            assert!(
+                b.prebuilt.is_none(),
+                "{path}: baseline unexpectedly prebuilt"
+            );
+            for keep_alive in [true, false] {
+                let mut fast_bytes = Vec::new();
+                let mut slow_bytes = Vec::new();
+                a.write_to(&mut fast_bytes, keep_alive).unwrap();
+                b.write_to(&mut slow_bytes, keep_alive).unwrap();
+                assert_eq!(
+                    fast_bytes, slow_bytes,
+                    "{path} keep_alive={keep_alive}: wire bytes diverge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn respond_304_never_touches_the_render_pool() {
+        let s = site();
+        let before = s.metrics().trigger;
+        // Prewarmed entries are at version 1; a matching validator must
+        // revalidate from the cache entry alone.
+        let resp = s.respond(0, &get_request("/medals", Some("\"v1\"")));
+        assert_eq!(resp.status, nagano_httpd::Status::NotModified);
+        assert!(resp.body.is_empty());
+        // A stale validator gets the full page, still without rendering.
+        let resp = s.respond(0, &get_request("/medals", Some("\"v9\"")));
+        assert_eq!(resp.status, nagano_httpd::Status::Ok);
+        assert!(!resp.body.is_empty());
+        let after = s.metrics().trigger;
+        assert_eq!(before.pages_regenerated, after.pages_regenerated);
+        assert_eq!(before.regen_cpu_ms, after.regen_cpu_ms);
+    }
+
+    #[test]
+    fn respond_reuses_cached_body_allocation() {
+        let s = site();
+        let cached = s.fleet().member(0).peek("/medals").unwrap().body;
+        let resp = s.respond(0, &get_request("/medals", None));
+        assert_eq!(
+            resp.body.as_ptr(),
+            cached.as_ptr(),
+            "hit body must be a refcounted view of the cache buffer"
+        );
     }
 
     #[test]

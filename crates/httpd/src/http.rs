@@ -2,7 +2,7 @@
 //! site needs: GET/HEAD requests, status + Content-Length responses,
 //! keep-alive negotiation.
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, IoSlice, Write};
 
 use bytes::Bytes;
 
@@ -51,6 +51,19 @@ impl Status {
             Status::ServiceUnavailable => "Service Unavailable",
         }
     }
+
+    /// The full preformatted status line, CRLF included.
+    pub fn line(self) -> &'static str {
+        match self {
+            Status::Ok => "HTTP/1.1 200 OK\r\n",
+            Status::NotModified => "HTTP/1.1 304 Not Modified\r\n",
+            Status::BadRequest => "HTTP/1.1 400 Bad Request\r\n",
+            Status::NotFound => "HTTP/1.1 404 Not Found\r\n",
+            Status::MethodNotAllowed => "HTTP/1.1 405 Method Not Allowed\r\n",
+            Status::InternalError => "HTTP/1.1 500 Internal Server Error\r\n",
+            Status::ServiceUnavailable => "HTTP/1.1 503 Service Unavailable\r\n",
+        }
+    }
 }
 
 /// A parsed request.
@@ -85,61 +98,100 @@ impl From<io::Error> for ParseError {
     }
 }
 
-/// Read one request from a buffered stream.
-pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Err(ParseError::ConnectionClosed);
+impl Request {
+    /// An empty request, to be filled by [`RequestReader::read_into`].
+    pub fn empty() -> Self {
+        Request {
+            method: String::new(),
+            path: String::new(),
+            minor_version: 0,
+            keep_alive: false,
+            if_none_match: None,
+        }
     }
-    let mut parts = line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or(ParseError::Malformed("missing method"))?
-        .to_ascii_uppercase();
-    let path = parts
-        .next()
-        .ok_or(ParseError::Malformed("missing path"))?
-        .to_string();
-    let version = parts.next().unwrap_or("HTTP/1.0");
-    let minor_version = match version {
-        "HTTP/1.1" => 1,
-        "HTTP/1.0" => 0,
-        _ => return Err(ParseError::Malformed("unsupported version")),
-    };
-    // Headers: we act on Connection and If-None-Match.
-    let mut keep_alive = minor_version == 1;
-    let mut if_none_match = None;
-    loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
+}
+
+/// Reusable request-parsing scratch. A worker keeps one per connection so
+/// every request on a keep-alive stream reuses the same line buffer and
+/// the same method/path `String` allocations instead of allocating fresh
+/// ones per header line.
+#[derive(Debug, Default)]
+pub struct RequestReader {
+    line: String,
+}
+
+impl RequestReader {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        RequestReader::default()
+    }
+
+    /// Read one request from a buffered stream into `req`, reusing both
+    /// buffers. On error `req`'s contents are unspecified.
+    pub fn read_into<R: BufRead>(
+        &mut self,
+        reader: &mut R,
+        req: &mut Request,
+    ) -> Result<(), ParseError> {
+        self.line.clear();
+        if reader.read_line(&mut self.line)? == 0 {
             return Err(ParseError::ConnectionClosed);
         }
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
+        req.method.clear();
+        req.path.clear();
+        req.if_none_match = None;
+        {
+            let mut parts = self.line.split_whitespace();
+            let method = parts
+                .next()
+                .ok_or(ParseError::Malformed("missing method"))?;
+            let path = parts.next().ok_or(ParseError::Malformed("missing path"))?;
+            let version = parts.next().unwrap_or("HTTP/1.0");
+            req.minor_version = match version {
+                "HTTP/1.1" => 1,
+                "HTTP/1.0" => 0,
+                _ => return Err(ParseError::Malformed("unsupported version")),
+            };
+            req.method.push_str(method);
+            req.path.push_str(path);
         }
-        if let Some((name, value)) = header.split_once(':') {
-            if name.eq_ignore_ascii_case("connection") {
-                let v = value.trim();
-                if v.eq_ignore_ascii_case("close") {
-                    keep_alive = false;
-                } else if v.eq_ignore_ascii_case("keep-alive") {
-                    keep_alive = true;
-                }
-            } else if name.eq_ignore_ascii_case("if-none-match") {
-                if_none_match = Some(value.trim().to_string());
+        req.method.make_ascii_uppercase();
+        // Headers: we act on Connection and If-None-Match.
+        req.keep_alive = req.minor_version == 1;
+        loop {
+            self.line.clear();
+            if reader.read_line(&mut self.line)? == 0 {
+                return Err(ParseError::ConnectionClosed);
             }
-        } else {
-            return Err(ParseError::Malformed("bad header"));
+            let header = self.line.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("connection") {
+                    let v = value.trim();
+                    if v.eq_ignore_ascii_case("close") {
+                        req.keep_alive = false;
+                    } else if v.eq_ignore_ascii_case("keep-alive") {
+                        req.keep_alive = true;
+                    }
+                } else if name.eq_ignore_ascii_case("if-none-match") {
+                    req.if_none_match = Some(value.trim().to_string());
+                }
+            } else {
+                return Err(ParseError::Malformed("bad header"));
+            }
         }
+        Ok(())
     }
-    Ok(Request {
-        method,
-        path,
-        minor_version,
-        keep_alive,
-        if_none_match,
-    })
+}
+
+/// Read one request from a buffered stream.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
+    let mut scratch = RequestReader::new();
+    let mut req = Request::empty();
+    scratch.read_into(reader, &mut req)?;
+    Ok(req)
 }
 
 /// A response ready to serialise.
@@ -157,6 +209,12 @@ pub struct Response {
     /// `Retry-After` header in seconds (load-shedding 503s tell the
     /// client when to come back).
     pub retry_after: Option<u32>,
+    /// Preserialised head fragments for the cache-hit fast path: the
+    /// bytes before and after the per-request `Connection:` header. When
+    /// set, serialisation copies these instead of formatting `status` /
+    /// `content_type` / `etag` (which are kept populated only as far as
+    /// the observer/logging path needs them).
+    pub prebuilt: Option<(Bytes, Bytes)>,
 }
 
 impl Response {
@@ -168,6 +226,21 @@ impl Response {
             body,
             etag: None,
             retry_after: None,
+            prebuilt: None,
+        }
+    }
+
+    /// 200 text/html response for a cached page with preserialised head
+    /// fragments from [`prebuilt_html_head`]: the serving hot path writes
+    /// `pre + Connection + post + body` without re-formatting any header.
+    pub fn prebuilt(pre: Bytes, post: Bytes, body: Bytes) -> Self {
+        Response {
+            status: Status::Ok,
+            content_type: "text/html; charset=utf-8",
+            body,
+            etag: None,
+            retry_after: None,
+            prebuilt: Some((pre, post)),
         }
     }
 
@@ -185,6 +258,7 @@ impl Response {
             body: Bytes::new(),
             etag: Some(etag.into()),
             retry_after: None,
+            prebuilt: None,
         }
     }
 
@@ -196,6 +270,7 @@ impl Response {
             body: Bytes::copy_from_slice(body.as_bytes()),
             etag: None,
             retry_after: None,
+            prebuilt: None,
         }
     }
 
@@ -213,8 +288,71 @@ impl Response {
         resp
     }
 
-    /// Serialise to `w`, honouring keep-alive.
+    /// Serialise the status line and every header (through the blank
+    /// line) into `out`, which is cleared first. Byte-for-byte identical
+    /// to the historical multi-`write!` serialisation, pinned by the
+    /// `head_serialisation_matches_legacy_bytes` test.
+    pub fn serialize_head(&self, keep_alive: bool, out: &mut Vec<u8>) {
+        out.clear();
+        if let Some((pre, post)) = &self.prebuilt {
+            out.extend_from_slice(pre);
+            out.extend_from_slice(connection_line(keep_alive));
+            out.extend_from_slice(post);
+            return;
+        }
+        out.extend_from_slice(self.status.line().as_bytes());
+        out.extend_from_slice(b"Content-Type: ");
+        out.extend_from_slice(self.content_type.as_bytes());
+        out.extend_from_slice(b"\r\nContent-Length: ");
+        push_u64(out, self.body.len() as u64);
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(connection_line(keep_alive));
+        out.extend_from_slice(b"Server: nagano/0.1\r\n");
+        if let Some(etag) = &self.etag {
+            out.extend_from_slice(b"ETag: ");
+            out.extend_from_slice(etag.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        if let Some(secs) = self.retry_after {
+            out.extend_from_slice(b"Retry-After: ");
+            push_u64(out, u64::from(secs));
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
+    }
+
+    /// Serialise to `w`, honouring keep-alive: the head is built in one
+    /// buffer and head + body go out in a single vectored write (the body
+    /// is never copied).
     pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        let mut scratch = Vec::with_capacity(160);
+        self.write_with_scratch(w, keep_alive, &mut scratch)
+    }
+
+    /// Like [`Response::write_to`] with a caller-owned head buffer, so a
+    /// keep-alive worker serialises every response on a connection into
+    /// the same allocation.
+    pub fn write_with_scratch<W: Write>(
+        &self,
+        w: &mut W,
+        keep_alive: bool,
+        scratch: &mut Vec<u8>,
+    ) -> io::Result<()> {
+        self.serialize_head(keep_alive, scratch);
+        write_all_vectored(w, scratch, &self.body)?;
+        w.flush()
+    }
+
+    /// The pre-rearchitecture serialisation: one formatted `write!` per
+    /// header group plus a separate body `write_all`. Kept verbatim as
+    /// the measured baseline for `BENCH_serving.json` (the server's
+    /// `legacy_write_path` mode) and as the oracle for the byte-
+    /// equivalence test. Prebuilt heads fall back to the buffered path so
+    /// both modes stay byte-identical on the wire.
+    pub fn write_to_legacy<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        if self.prebuilt.is_some() {
+            return self.write_to(w, keep_alive);
+        }
         write!(
             w,
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\nServer: nagano/0.1\r\n",
@@ -234,6 +372,90 @@ impl Response {
         w.write_all(&self.body)?;
         w.flush()
     }
+}
+
+/// Build the preserialised head fragments for a cached 200 text/html page
+/// of `body_len` bytes at cache version `version`: everything before the
+/// per-request `Connection:` header and everything after it (`Server`,
+/// `ETag: "v<version>"`, blank line). Computed once per cache fill and
+/// amortised over every hit.
+pub fn prebuilt_html_head(body_len: usize, version: u64) -> (Bytes, Bytes) {
+    let mut pre = Vec::with_capacity(96);
+    pre.extend_from_slice(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/html; charset=utf-8\r\nContent-Length: ",
+    );
+    push_u64(&mut pre, body_len as u64);
+    pre.extend_from_slice(b"\r\n");
+    let mut post = Vec::with_capacity(48);
+    post.extend_from_slice(b"Server: nagano/0.1\r\nETag: \"v");
+    push_u64(&mut post, version);
+    post.extend_from_slice(b"\"\r\n\r\n");
+    (Bytes::from(pre), Bytes::from(post))
+}
+
+fn connection_line(keep_alive: bool) -> &'static [u8] {
+    if keep_alive {
+        b"Connection: keep-alive\r\n"
+    } else {
+        b"Connection: close\r\n"
+    }
+}
+
+/// Append `n` in decimal without going through `fmt`.
+fn push_u64(out: &mut Vec<u8>, mut n: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&digits[i..]);
+}
+
+/// Write `head` then `body` with as few writes as the transport allows:
+/// one `write_vectored` covers both in the common case, and a manual
+/// advance loop finishes partial writes.
+fn write_all_vectored<W: Write>(w: &mut W, head: &[u8], body: &[u8]) -> io::Result<()> {
+    let mut head_off = 0usize;
+    let mut body_off = 0usize;
+    while head_off < head.len() || body_off < body.len() {
+        let result = if head_off < head.len() {
+            if body.is_empty() {
+                w.write(&head[head_off..])
+            } else {
+                // Writes are sequential, so the body is untouched while
+                // any head bytes remain.
+                let bufs = [IoSlice::new(&head[head_off..]), IoSlice::new(body)];
+                w.write_vectored(&bufs)
+            }
+        } else {
+            w.write(&body[body_off..])
+        };
+        match result {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "failed to write whole response",
+                ))
+            }
+            Ok(n) => {
+                let head_rem = head.len() - head_off;
+                if n >= head_rem {
+                    head_off = head.len();
+                    body_off += n - head_rem;
+                } else {
+                    head_off += n;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 /// Read one response from a buffered stream: returns (status code, body).
@@ -373,6 +595,82 @@ mod tests {
         assert!(text.contains("Connection: close"));
         let (code, _) = read_response(&mut BufReader::new(&buf[..])).unwrap();
         assert_eq!(code, 503);
+    }
+
+    #[test]
+    fn head_serialisation_matches_legacy_bytes() {
+        // The single-buffer serialiser must be byte-identical to the old
+        // multi-`write!` path for every response shape the site emits.
+        let cases: Vec<Response> = vec![
+            Response::html(Bytes::from_static(b"<html>hello</html>")),
+            Response::html(Bytes::from_static(b"body")).with_etag("\"v7\""),
+            Response::html(Bytes::new()),
+            Response::not_modified("\"v12345\""),
+            Response::text(Status::BadRequest, "bad header\n"),
+            Response::text(Status::MethodNotAllowed, "only GET/HEAD\n"),
+            Response::text(Status::InternalError, "internal server error\n"),
+            Response::not_found(),
+            Response::overloaded(0),
+            Response::overloaded(4_294_967_295),
+        ];
+        for resp in &cases {
+            for keep_alive in [true, false] {
+                let mut new = Vec::new();
+                resp.write_to(&mut new, keep_alive).unwrap();
+                let mut old = Vec::new();
+                resp.write_to_legacy(&mut old, keep_alive).unwrap();
+                assert_eq!(
+                    new, old,
+                    "write_to diverged from legacy for {:?} keep_alive={keep_alive}",
+                    resp.status
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prebuilt_head_matches_formatted_head() {
+        let body = Bytes::from_static(b"<html>cached page</html>");
+        let (pre, post) = prebuilt_html_head(body.len(), 42);
+        let fast = Response::prebuilt(pre, post, body.clone());
+        let slow = Response::html(body).with_etag("\"v42\"");
+        for keep_alive in [true, false] {
+            let mut a = Vec::new();
+            fast.write_to(&mut a, keep_alive).unwrap();
+            let mut b = Vec::new();
+            slow.write_to(&mut b, keep_alive).unwrap();
+            assert_eq!(a, b, "prebuilt head diverged (keep_alive={keep_alive})");
+        }
+        // And the legacy writer falls back to the same bytes.
+        let mut c = Vec::new();
+        fast.write_to_legacy(&mut c, true).unwrap();
+        let mut d = Vec::new();
+        slow.write_to(&mut d, true).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn request_reader_reuses_buffers_across_requests() {
+        let wire = "GET /a HTTP/1.1\r\nHost: x\r\n\r\n\
+                    get /b HTTP/1.1\r\nIf-None-Match: \"v3\"\r\n\r\n\
+                    GET /c HTTP/1.0\r\n\r\n";
+        let mut reader = BufReader::new(wire.as_bytes());
+        let mut scratch = RequestReader::new();
+        let mut req = Request::empty();
+        scratch.read_into(&mut reader, &mut req).unwrap();
+        assert_eq!((req.method.as_str(), req.path.as_str()), ("GET", "/a"));
+        assert!(req.keep_alive && req.if_none_match.is_none());
+        scratch.read_into(&mut reader, &mut req).unwrap();
+        assert_eq!((req.method.as_str(), req.path.as_str()), ("GET", "/b"));
+        assert_eq!(req.if_none_match.as_deref(), Some("\"v3\""));
+        scratch.read_into(&mut reader, &mut req).unwrap();
+        assert_eq!(req.path, "/c");
+        assert!(!req.keep_alive, "1.0 defaults to close");
+        assert!(req.if_none_match.is_none(), "stale validator cleared");
+        assert!(matches!(
+            scratch.read_into(&mut reader, &mut req),
+            Err(ParseError::ConnectionClosed)
+        ));
     }
 
     #[test]

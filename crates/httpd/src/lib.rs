@@ -33,7 +33,10 @@ pub mod server;
 
 pub use admin::{AdminPlane, StatusFn};
 pub use client::{HttpClient, LoadReport, LoadRunner};
-pub use http::{Request, Response, Status};
+pub use http::{
+    prebuilt_html_head, read_response, read_response_full, ParseError, Request, RequestReader,
+    Response, Status,
+};
 pub use log::{AccessLog, LogAnalysis, LogEntry};
 pub use metrics::HttpdMetrics;
 pub use server::{Handler, RequestObserver, RetryAfterHint, Server, ServerConfig};

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 
-use crate::http::{read_request, ParseError, Request, Response, Status};
+use crate::http::{ParseError, Request, RequestReader, Response, Status};
 
 /// A request handler (the FastCGI-attached "server program").
 pub trait Handler: Send + Sync + 'static {
@@ -78,6 +78,12 @@ pub struct ServerConfig {
     /// When set, shed responses read their `Retry-After` from this live
     /// hint at shed time instead of the static `retry_after_secs`.
     pub retry_after_hint: Option<RetryAfterHint>,
+    /// Serve responses through the pre-rearchitecture write path (a
+    /// `BufWriter` plus one small formatted write per header group)
+    /// instead of the single vectored write. Wire bytes are identical;
+    /// only the syscall/copy profile differs. Kept so the serving
+    /// benchmark can measure before/after in one binary.
+    pub legacy_write_path: bool,
 }
 
 impl Default for ServerConfig {
@@ -88,8 +94,35 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             retry_after_secs: 2,
             retry_after_hint: None,
+            legacy_write_path: false,
         }
     }
+}
+
+impl ServerConfig {
+    /// Defaults with overrides from the environment — the knob the load
+    /// harness uses to sweep server shapes without a rebuild:
+    /// `NAGANO_HTTPD_WORKERS` (worker threads), `NAGANO_HTTPD_BACKLOG`
+    /// (pending-connection queue), and `NAGANO_HTTPD_LEGACY_WRITE=1`
+    /// (pre-rearchitecture write path for before/after measurements).
+    /// Unset or unparsable variables keep their defaults.
+    pub fn from_env() -> Self {
+        let mut cfg = ServerConfig::default();
+        if let Some(n) = env_usize("NAGANO_HTTPD_WORKERS") {
+            cfg.workers = n.max(1);
+        }
+        if let Some(n) = env_usize("NAGANO_HTTPD_BACKLOG") {
+            cfg.backlog = n.max(1);
+        }
+        if let Ok(v) = std::env::var("NAGANO_HTTPD_LEGACY_WRITE") {
+            cfg.legacy_write_path = v.trim() == "1" || v.trim().eq_ignore_ascii_case("true");
+        }
+        cfg
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
 }
 
 /// A running server; dropping it shuts the server down.
@@ -136,11 +169,20 @@ impl Server {
             let timeout = config.read_timeout;
             let worker_shutdown = Arc::clone(&shutdown);
             let observer = observer.clone();
+            let legacy = config.legacy_write_path;
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("httpd-worker-{i}"))
                     .spawn(move || {
-                        worker_loop(rx, handler, served, timeout, worker_shutdown, observer)
+                        worker_loop(
+                            rx,
+                            handler,
+                            served,
+                            timeout,
+                            worker_shutdown,
+                            observer,
+                            legacy,
+                        )
                     })?,
             );
         }
@@ -158,23 +200,30 @@ impl Server {
                         break;
                     }
                     match stream {
-                        Ok(s) => match tx.try_send(s) {
-                            Ok(()) => {}
-                            Err(TrySendError::Full(s)) => {
-                                // Every worker is busy and the pending
-                                // queue is full: shed the connection with
-                                // a 503 + Retry-After rather than queue
-                                // it unboundedly (load shedding is the
-                                // fault tier below a node outage).
-                                accept_shed.fetch_add(1, Relaxed);
-                                let retry_after = retry_after_hint
-                                    .as_ref()
-                                    .map(RetryAfterHint::get_secs)
-                                    .unwrap_or(retry_after_static);
-                                shed_connection(s, retry_after);
+                        Ok(s) => {
+                            // TCP_NODELAY before the stream goes anywhere:
+                            // neither a served response's final write nor
+                            // the accept-thread shed 503 should sit out a
+                            // Nagle delay.
+                            let _ = s.set_nodelay(true);
+                            match tx.try_send(s) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full(s)) => {
+                                    // Every worker is busy and the pending
+                                    // queue is full: shed the connection with
+                                    // a 503 + Retry-After rather than queue
+                                    // it unboundedly (load shedding is the
+                                    // fault tier below a node outage).
+                                    accept_shed.fetch_add(1, Relaxed);
+                                    let retry_after = retry_after_hint
+                                        .as_ref()
+                                        .map(RetryAfterHint::get_secs)
+                                        .unwrap_or(retry_after_static);
+                                    shed_connection(s, retry_after);
+                                }
+                                Err(TrySendError::Disconnected(_)) => break,
                             }
-                            Err(TrySendError::Disconnected(_)) => break,
-                        },
+                        }
                         Err(_) => continue,
                     }
                 }
@@ -241,6 +290,30 @@ fn shed_connection(stream: TcpStream, retry_after_secs: u32) {
     let _ = writer.flush();
 }
 
+/// A connection's write half. The fast path writes straight to the
+/// socket — head from the reused scratch buffer plus the refcounted body
+/// in one vectored write, no intermediate copy. The legacy variant keeps
+/// the pre-rearchitecture `BufWriter` + multi-`write!` profile for
+/// before/after benchmarking.
+enum ConnWriter {
+    Fast(TcpStream),
+    Legacy(BufWriter<TcpStream>),
+}
+
+impl ConnWriter {
+    fn send(
+        &mut self,
+        response: &Response,
+        keep_alive: bool,
+        scratch: &mut Vec<u8>,
+    ) -> std::io::Result<()> {
+        match self {
+            ConnWriter::Fast(stream) => response.write_with_scratch(stream, keep_alive, scratch),
+            ConnWriter::Legacy(writer) => response.write_to_legacy(writer, keep_alive),
+        }
+    }
+}
+
 fn worker_loop(
     rx: Receiver<TcpStream>,
     handler: Arc<dyn Handler>,
@@ -248,24 +321,33 @@ fn worker_loop(
     timeout: Duration,
     shutdown: Arc<AtomicBool>,
     observer: Option<RequestObserver>,
+    legacy_write_path: bool,
 ) {
+    // Parse and head-serialisation scratch, reused for every request the
+    // worker ever serves: steady-state keep-alive traffic allocates
+    // nothing per request on this path.
+    let mut parse = RequestReader::new();
+    let mut request = Request::empty();
+    let mut head = Vec::with_capacity(256);
     while let Ok(stream) = rx.recv() {
         // Short poll interval so keep-alive workers notice shutdown fast;
         // idle connections are re-polled until `timeout` worth of silence.
         let poll = Duration::from_millis(50);
         let _ = stream.set_read_timeout(Some(poll));
-        let _ = stream.set_nodelay(true);
         let Ok(read_half) = stream.try_clone() else {
             continue;
         };
         let mut reader = BufReader::new(read_half);
-        let mut writer = BufWriter::new(stream);
+        let mut writer = if legacy_write_path {
+            ConnWriter::Legacy(BufWriter::new(stream))
+        } else {
+            ConnWriter::Fast(stream)
+        };
         let mut idle = Duration::ZERO;
         loop {
-            let request = match read_request(&mut reader) {
-                Ok(r) => {
+            match parse.read_into(&mut reader, &mut request) {
+                Ok(()) => {
                     idle = Duration::ZERO;
-                    r
                 }
                 Err(ParseError::ConnectionClosed) => break,
                 Err(ParseError::Io(e))
@@ -282,10 +364,10 @@ fn worker_loop(
                 }
                 Err(ParseError::Io(_)) => break,
                 Err(ParseError::Malformed(msg)) => {
-                    let _ = Response::text(Status::BadRequest, msg).write_to(&mut writer, false);
+                    let _ = writer.send(&Response::text(Status::BadRequest, msg), false, &mut head);
                     break;
                 }
-            };
+            }
             let response = if request.method == "GET" || request.method == "HEAD" {
                 // A panicking server program must cost one response, not
                 // the worker (paper §4: a node-level outage is the fault
@@ -302,7 +384,7 @@ fn worker_loop(
                 obs(&request, response.status.code(), response.body.len() as u64);
             }
             let keep = request.keep_alive;
-            if response.write_to(&mut writer, keep).is_err() {
+            if writer.send(&response, keep, &mut head).is_err() {
                 break;
             }
             if !keep {
@@ -479,6 +561,60 @@ mod tests {
         drop(queued);
         assert_eq!(server.served(), 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn legacy_write_path_serves_identical_bytes() {
+        use std::io::{Read, Write};
+        fn raw_get(addr: SocketAddr) -> Vec<u8> {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET /page HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap();
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf).unwrap();
+            buf
+        }
+        let handler: Arc<dyn Handler> = Arc::new(|_req: &Request| {
+            Response::html(Bytes::from_static(b"<p>same bytes</p>")).with_etag("\"v3\"")
+        });
+        let fast =
+            Server::bind("127.0.0.1:0", Arc::clone(&handler), ServerConfig::default()).unwrap();
+        let legacy = Server::bind(
+            "127.0.0.1:0",
+            handler,
+            ServerConfig {
+                legacy_write_path: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let a = raw_get(fast.addr());
+        let b = raw_get(legacy.addr());
+        assert!(!a.is_empty());
+        assert_eq!(
+            a, b,
+            "write-path modes must be indistinguishable on the wire"
+        );
+        fast.shutdown();
+        legacy.shutdown();
+    }
+
+    #[test]
+    fn config_from_env_reads_worker_knobs() {
+        std::env::set_var("NAGANO_HTTPD_WORKERS", "3");
+        std::env::set_var("NAGANO_HTTPD_BACKLOG", "17");
+        std::env::set_var("NAGANO_HTTPD_LEGACY_WRITE", "1");
+        let cfg = ServerConfig::from_env();
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.backlog, 17);
+        assert!(cfg.legacy_write_path);
+        std::env::remove_var("NAGANO_HTTPD_WORKERS");
+        std::env::remove_var("NAGANO_HTTPD_BACKLOG");
+        std::env::remove_var("NAGANO_HTTPD_LEGACY_WRITE");
+        let cfg = ServerConfig::from_env();
+        assert_eq!(cfg.workers, ServerConfig::default().workers);
+        assert_eq!(cfg.backlog, ServerConfig::default().backlog);
+        assert!(!cfg.legacy_write_path);
     }
 
     #[test]

@@ -69,21 +69,32 @@ pub enum PageKey {
 impl PageKey {
     /// Canonical URL path.
     pub fn to_url(self) -> String {
-        match self {
-            PageKey::Home(d) => format!("/day/{d}/"),
-            PageKey::Welcome => "/welcome".to_string(),
-            PageKey::News(n) => format!("/news/{}", n.0),
-            PageKey::NewsIndex(d) => format!("/news/day/{d}"),
-            PageKey::Venue(s) => format!("/venues/{}", s.0),
-            PageKey::Sport(s) => format!("/sports/{}", s.0),
-            PageKey::Event(e) => format!("/events/{}", e.0),
-            PageKey::Country(c) => format!("/countries/{}", c.0),
-            PageKey::Athlete(a) => format!("/athletes/{}", a.0),
-            PageKey::Medals => "/medals".to_string(),
-            PageKey::Nagano => "/nagano".to_string(),
-            PageKey::Fun => "/fun".to_string(),
-            PageKey::Fragment(f) => f.to_url(),
-        }
+        let mut out = String::with_capacity(24);
+        self.push_url(&mut out);
+        out
+    }
+
+    /// Append the canonical URL path to `out` — the serving hot path
+    /// formats cache keys into a reused buffer instead of allocating a
+    /// fresh `String` per request.
+    pub fn push_url(self, out: &mut String) {
+        use std::fmt::Write;
+        // Writing to a String cannot fail; the results are ignorable.
+        let _ = match self {
+            PageKey::Home(d) => write!(out, "/day/{d}/"),
+            PageKey::Welcome => write!(out, "/welcome"),
+            PageKey::News(n) => write!(out, "/news/{}", n.0),
+            PageKey::NewsIndex(d) => write!(out, "/news/day/{d}"),
+            PageKey::Venue(s) => write!(out, "/venues/{}", s.0),
+            PageKey::Sport(s) => write!(out, "/sports/{}", s.0),
+            PageKey::Event(e) => write!(out, "/events/{}", e.0),
+            PageKey::Country(c) => write!(out, "/countries/{}", c.0),
+            PageKey::Athlete(a) => write!(out, "/athletes/{}", a.0),
+            PageKey::Medals => write!(out, "/medals"),
+            PageKey::Nagano => write!(out, "/nagano"),
+            PageKey::Fun => write!(out, "/fun"),
+            PageKey::Fragment(f) => return out.push_str(&f.to_url()),
+        };
     }
 
     /// The ODG object-vertex name for this page.
@@ -244,6 +255,16 @@ mod tests {
             "Fun",
         ] {
             assert!(cats.contains(want), "missing category {want}");
+        }
+    }
+
+    #[test]
+    fn push_url_matches_to_url_for_every_variant() {
+        let mut buf = String::new();
+        for key in all_sample_keys() {
+            buf.clear();
+            key.push_url(&mut buf);
+            assert_eq!(buf, key.to_url(), "{key:?}");
         }
     }
 
