@@ -1,19 +1,24 @@
 //! Offline compat shim for `bytes`: just [`Bytes`], an immutable,
-//! cheaply cloneable byte buffer backed by `Arc<[u8]>`. The workspace only
-//! uses the shared-ownership read path (no `BytesMut`, no slicing views),
-//! so that is all this shim provides.
+//! cheaply cloneable byte buffer backed by `Arc<[u8]>`. The workspace uses
+//! the shared-ownership read path plus [`Bytes::slice`] subviews (no
+//! `BytesMut`): a slice shares the parent's allocation and narrows the
+//! visible window, so splitting a page skeleton into fragment-slot
+//! segments never copies.
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// An immutable, reference-counted byte buffer. `clone()` is an `Arc`
-/// refcount bump, never a copy.
+/// refcount bump, never a copy; [`Bytes::slice`] produces a narrowed view
+/// over the same allocation.
 #[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -22,50 +27,90 @@ impl Bytes {
         Bytes::default()
     }
 
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
+    }
+
     /// Buffer borrowing a static slice (copied once into shared storage —
     /// this shim does not keep the zero-copy static fast path).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(bytes) }
+        Bytes::from_arc(Arc::from(bytes))
     }
 
     /// Buffer holding a copy of `data`.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes::from_arc(Arc::from(data))
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     /// True when the buffer holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
+    }
+
+    /// The visible window of the underlying allocation.
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// A zero-copy subview of `range` (indices relative to this view):
+    /// shares the parent allocation, narrows the window. Panics when the
+    /// range is out of bounds, matching the real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= end && end <= len,
+            "slice {begin}..{end} out of bounds for Bytes of length {len}"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        Bytes::from_arc(Arc::from(v))
     }
 }
 
@@ -89,7 +134,7 @@ impl From<&'static [u8]> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -97,37 +142,37 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data[..] == *other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        self.data[..] == **other
+        self.as_slice() == *other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        *self.as_slice() == other[..]
     }
 }
 
 impl PartialEq<str> for Bytes {
     fn eq(&self, other: &str) -> bool {
-        self.data[..] == *other.as_bytes()
+        self.as_slice() == other.as_bytes()
     }
 }
 
 impl PartialEq<&str> for Bytes {
     fn eq(&self, other: &&str) -> bool {
-        self.data[..] == *other.as_bytes()
+        self.as_slice() == other.as_bytes()
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data.hash(state);
+        self.as_slice().hash(state);
     }
 }
 
@@ -139,14 +184,14 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.data.cmp(&other.data)
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -159,7 +204,7 @@ impl IntoIterator for Bytes {
     type Item = u8;
     type IntoIter = std::vec::IntoIter<u8>;
     fn into_iter(self) -> Self::IntoIter {
-        self.data.to_vec().into_iter()
+        self.as_slice().to_vec().into_iter()
     }
 }
 
@@ -167,6 +212,30 @@ impl<'a> IntoIterator for &'a Bytes {
     type Item = &'a u8;
     type IntoIter = std::slice::Iter<'a, u8>;
     fn into_iter(self) -> Self::IntoIter {
-        self.data.iter()
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_shares_the_allocation() {
+        let b = Bytes::from("0123456789".to_string());
+        let mid = b.slice(2..7);
+        assert_eq!(&mid[..], b"23456");
+        assert!(std::ptr::eq(&b[2], &mid[0]));
+        // Sub-slicing a slice stays relative to the view.
+        let inner = mid.slice(1..=2);
+        assert_eq!(&inner[..], b"34");
+        assert_eq!(mid.slice(..).len(), 5);
+        assert!(mid.slice(3..3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from_static(b"abc").slice(1..5);
     }
 }

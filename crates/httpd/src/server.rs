@@ -381,7 +381,7 @@ fn worker_loop(
             };
             served.fetch_add(1, Relaxed);
             if let Some(obs) = &observer {
-                obs(&request, response.status.code(), response.body.len() as u64);
+                obs(&request, response.status.code(), response.body_len() as u64);
             }
             let keep = request.keep_alive;
             if writer.send(&response, keep, &mut head).is_err() {

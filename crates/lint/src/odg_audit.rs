@@ -78,7 +78,8 @@ const BINDER_FAMILY: &[(&str, Family)] = &[
 ];
 
 /// Well-known loop locals whose `.data_key()` family is their row type.
-const LOCAL_NAMES: &[(&str, Family)] = &[("article", "news"), ("photo", "photo")];
+const LOCAL_NAMES: &[(&str, Family)] =
+    &[("article", "news"), ("event", "event"), ("photo", "photo")];
 
 /// Arms that render fixed content: no data reads expected, O001 off.
 const STATIC_ARMS: &[&str] = &["Fun", "Nagano", "Venue", "Welcome"];
@@ -660,6 +661,72 @@ mod tests {
         // events_on_day reads today (direct edge) + event (covered via
         // the ResultTable fragment's own edge, cross-file).
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn cached_fragment_slot_form_is_recognized() {
+        // The composition-plan renderer passes a slot recorder as a
+        // third argument; the audit must still see the inline and the
+        // loop-local `event.….data_key()` edge (LOCAL_NAMES).
+        let page = "
+            fn compose(&self, key: PageKey, deps: &mut Vec<Dependency>) {
+                match key {
+                    PageKey::Home(day) => {
+                        deps.push(Dependency::weighted(
+                            nagano_db::schema::today_data_key(day), 2.0));
+                        for event in self.db.events_on_day(day) {
+                            deps.push(Dependency::new(
+                                PageKey::Fragment(FragmentKey::ResultTable(event.id))
+                                    .object_key()));
+                            deps.push(Dependency::weighted(event.id.data_key(), 1.0));
+                            self.inline_fragment(
+                                FragmentKey::ResultTable(event.id),
+                                html,
+                                slots.as_deref_mut(),
+                            );
+                        }
+                    }
+                }
+            }
+        ";
+        let frag = "
+            fn compose_fragment(&self, f: FragmentKey, deps: &mut Vec<Dependency>) {
+                match f {
+                    FragmentKey::ResultTable(e) => {
+                        deps.push(Dependency::new(e.data_key()));
+                        let rows = self.db.results_for_event(e);
+                    }
+                }
+            }
+        ";
+        let diags = run_on(&[
+            ("crates/pagegen/src/page.rs", page),
+            ("crates/pagegen/src/frag.rs", frag),
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn dead_event_local_edge_is_o002() {
+        // `event.id.data_key()` classifies via LOCAL_NAMES, so an arm
+        // registering it without any event-family read is a dead edge.
+        let src = "
+            fn compose(&self, key: PageKey, deps: &mut Vec<Dependency>) {
+                match key {
+                    PageKey::Medals => {
+                        deps.push(Dependency::weighted(event.id.data_key(), 1.0));
+                        for (c, m) in self.db.medal_standings().iter() {
+                            let _ = writeln!(html, \"<span>{c} {}</span>\", m.gold);
+                        }
+                        deps.push(Dependency::new(nagano_db::schema::medals_data_key()));
+                    }
+                }
+            }
+        ";
+        let diags = run_on(&[("crates/pagegen/src/r.rs", src)]);
+        let o002: Vec<_> = diags.iter().filter(|d| d.rule == "O002").collect();
+        assert_eq!(o002.len(), 1, "{diags:?}");
+        assert!(o002[0].message.contains("data:event"), "{o002:?}");
     }
 
     #[test]

@@ -17,7 +17,12 @@ impl Renderer {
                     deps.push(Dependency::new(
                         PageKey::Fragment(FragmentKey::ScheduleRow(event.id)).object_key(),
                     ));
-                    self.inline_fragment(FragmentKey::ScheduleRow(event.id), html);
+                    deps.push(Dependency::weighted(event.id.data_key(), 1.0));
+                    self.inline_fragment(
+                        FragmentKey::ScheduleRow(event.id),
+                        html,
+                        slots.as_deref_mut(),
+                    );
                 }
                 format!("Standings day {day}")
             }

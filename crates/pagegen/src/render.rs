@@ -26,6 +26,7 @@ use nagano_db::{EventPhase, OlympicDb};
 
 use crate::cost::{spin_for, CostModel};
 use crate::key::{FragmentKey, PageKey};
+use crate::plan::{filler_repeats, page_head, CompositionPlan, FILLER, PAGE_CLOSE};
 
 /// One dependency edge to register with DUP: `data_key → this page`.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,8 +76,6 @@ pub struct Renderer {
     cpu_scale: Option<f64>,
 }
 
-const FILLER: &str = "Olympic coverage continues around the clock from Nagano. ";
-
 impl Renderer {
     /// New renderer over `db` with the default cost model.
     pub fn new(db: Arc<OlympicDb>) -> Self {
@@ -114,7 +113,7 @@ impl Renderer {
     pub fn render(&self, key: PageKey) -> RenderOutput {
         let mut html = String::with_capacity(4096);
         let mut deps: Vec<Dependency> = Vec::new();
-        let title = self.compose(key, &mut html, &mut deps);
+        let title = self.compose(key, &mut html, &mut deps, None);
         let body = finalize(key, &title, html);
         let cost_ms = self.cost.cost_ms(key);
         if let Some(scale) = self.cpu_scale {
@@ -127,8 +126,68 @@ impl Renderer {
         }
     }
 
-    /// Build the page's inner HTML; returns the title.
-    fn compose(&self, key: PageKey, html: &mut String, deps: &mut Vec<Dependency>) -> String {
+    /// Render just the fragment's inner HTML — the bytes a composition
+    /// plan splices into its slots. The body is *not* a servable page
+    /// (no chrome, no padding; compose the owning [`CompositionPlan`]
+    /// for that). The dependency list is identical to the one a legacy
+    /// whole-page render of `PageKey::Fragment(f)` registers: the page
+    /// and the fragment share one ODG vertex.
+    pub fn render_fragment(&self, f: FragmentKey) -> RenderOutput {
+        let mut html = String::with_capacity(1024);
+        let mut deps: Vec<Dependency> = Vec::new();
+        self.compose_fragment(f, &mut html, &mut deps);
+        let cost_ms = self.cost.cost_ms(PageKey::Fragment(f));
+        if let Some(scale) = self.cpu_scale {
+            spin_for(cost_ms, scale);
+        }
+        RenderOutput {
+            body: Bytes::from(html),
+            deps,
+            cost_ms,
+        }
+    }
+
+    /// Build the page's composition plan: the same `compose` pass as
+    /// [`Renderer::render`], but every `inline_fragment` records a slot
+    /// instead of rendering — so composing the plan with fresh fragment
+    /// bodies is byte-identical to the whole-page render by construction.
+    pub fn plan(&self, key: PageKey) -> CompositionPlan {
+        let mut html = String::with_capacity(4096);
+        let mut deps: Vec<Dependency> = Vec::new();
+        let mut slots: Vec<(usize, FragmentKey)> = Vec::new();
+        let title = self.compose(key, &mut html, &mut deps, Some(&mut slots));
+        let skeleton_cost_ms = match key {
+            // The fragment page's render cost is carried by the fragment
+            // itself ([`Renderer::render_fragment`]).
+            PageKey::Fragment(_) => 0.0,
+            _ if slots.is_empty() => self.cost.cost_ms(key),
+            _ => self.cost.skeleton_cost_ms(key),
+        };
+        if let Some(scale) = self.cpu_scale {
+            spin_for(skeleton_cost_ms, scale);
+        }
+        let compose_cost_ms = self.cost.compose_cost_ms(slots.len());
+        CompositionPlan::assemble(
+            key,
+            title,
+            html,
+            slots,
+            deps,
+            skeleton_cost_ms,
+            compose_cost_ms,
+        )
+    }
+
+    /// Build the page's inner HTML; returns the title. With `slots` set
+    /// (composition-plan mode), fragments record slots instead of
+    /// rendering inline and the returned HTML is the bare skeleton.
+    fn compose(
+        &self,
+        key: PageKey,
+        html: &mut String,
+        deps: &mut Vec<Dependency>,
+        mut slots: Option<&mut Vec<(usize, FragmentKey)>>,
+    ) -> String {
         match key {
             PageKey::Home(day) => {
                 deps.push(Dependency::weighted(
@@ -147,14 +206,22 @@ impl Renderer {
                     0.5,
                 ));
                 let _ = writeln!(html, "<h2>Day {day} at the Games</h2>");
-                self.inline_fragment(FragmentKey::MedalTable, html);
-                self.inline_fragment(FragmentKey::Headlines(day), html);
+                self.inline_fragment(FragmentKey::MedalTable, html, slots.as_deref_mut());
+                self.inline_fragment(FragmentKey::Headlines(day), html, slots.as_deref_mut());
                 for event in self.db.events_on_day(day) {
                     deps.push(Dependency::weighted(
                         PageKey::Fragment(FragmentKey::ResultTable(event.id)).object_key(),
                         2.0,
                     ));
-                    self.inline_fragment(FragmentKey::ResultTable(event.id), html);
+                    // The *skeleton* also reads event rows directly (phase
+                    // label, gold-winner line below), so the page needs its
+                    // own data edge — not just the fragment's.
+                    deps.push(Dependency::weighted(event.id.data_key(), 1.0));
+                    self.inline_fragment(
+                        FragmentKey::ResultTable(event.id),
+                        html,
+                        slots.as_deref_mut(),
+                    );
                     let _ = writeln!(
                         html,
                         "<section class=\"event\"><a href=\"{}\">{}</a> — {}</section>",
@@ -185,7 +252,7 @@ impl Renderer {
                     PageKey::Fragment(FragmentKey::MedalTable).object_key(),
                 ));
                 let _ = writeln!(html, "<h2>Medal Standings</h2>");
-                self.inline_fragment(FragmentKey::MedalTable, html);
+                self.inline_fragment(FragmentKey::MedalTable, html, slots.as_deref_mut());
                 "Medal Standings".to_string()
             }
             PageKey::Sport(s) => {
@@ -200,7 +267,11 @@ impl Renderer {
                     deps.push(Dependency::new(
                         PageKey::Fragment(FragmentKey::ResultTable(event.id)).object_key(),
                     ));
-                    self.inline_fragment(FragmentKey::ResultTable(event.id), html);
+                    self.inline_fragment(
+                        FragmentKey::ResultTable(event.id),
+                        html,
+                        slots.as_deref_mut(),
+                    );
                     let _ = writeln!(
                         html,
                         "<div><a href=\"{}\">{}</a> (day {})</div>",
@@ -215,7 +286,7 @@ impl Renderer {
                 deps.push(Dependency::new(
                     PageKey::Fragment(FragmentKey::ResultTable(e)).object_key(),
                 ));
-                self.inline_fragment(FragmentKey::ResultTable(e), html);
+                self.inline_fragment(FragmentKey::ResultTable(e), html, slots.as_deref_mut());
                 let event = self.db.event(e);
                 let name = event
                     .as_ref()
@@ -354,17 +425,37 @@ impl Renderer {
                 );
                 "Fun".into()
             }
-            PageKey::Fragment(f) => self.compose_fragment(f, html, deps),
+            PageKey::Fragment(f) => match slots {
+                // Plan mode: the fragment page is pure slot — its data deps
+                // live on the shared fragment vertex, registered when the
+                // fragment itself regenerates.
+                Some(slots) => {
+                    slots.push((html.len(), f));
+                    fragment_title(f)
+                }
+                None => self.compose_fragment(f, html, deps),
+            },
         }
     }
 
     /// Render a fragment's HTML into a composed page *without* adding the
     /// fragment's own data dependencies — the page depends on the fragment
     /// object; the fragment depends on the raw data (Figure 15's two-level
-    /// composition).
-    fn inline_fragment(&self, f: FragmentKey, html: &mut String) {
-        let mut fragment_deps = Vec::new();
-        self.compose_fragment(f, html, &mut fragment_deps);
+    /// composition). In plan mode (`slots` set) nothing is rendered: the
+    /// current skeleton offset is recorded as a cached-fragment slot.
+    fn inline_fragment(
+        &self,
+        f: FragmentKey,
+        html: &mut String,
+        slots: Option<&mut Vec<(usize, FragmentKey)>>,
+    ) {
+        match slots {
+            Some(slots) => slots.push((html.len(), f)),
+            None => {
+                let mut fragment_deps = Vec::new();
+                self.compose_fragment(f, html, &mut fragment_deps);
+            }
+        }
     }
 
     fn compose_fragment(
@@ -391,7 +482,6 @@ impl Renderer {
                     );
                 }
                 let _ = writeln!(html, "</table>");
-                format!("Results {}", e.0)
             }
             FragmentKey::MedalTable => {
                 deps.push(Dependency::new(nagano_db::schema::medals_data_key()));
@@ -410,7 +500,6 @@ impl Renderer {
                     );
                 }
                 let _ = writeln!(html, "</table>");
-                "Medal Table".into()
             }
             FragmentKey::Headlines(day) => {
                 deps.push(Dependency::weighted(
@@ -423,9 +512,19 @@ impl Renderer {
                     let _ = writeln!(html, "<li>{}</li>", article.title);
                 }
                 let _ = writeln!(html, "</ul>");
-                format!("Headlines Day {day}")
             }
         }
+        fragment_title(f)
+    }
+}
+
+/// The fragment page's title, computable without touching the database —
+/// plan mode needs it even when the fragment body comes from the cache.
+fn fragment_title(f: FragmentKey) -> String {
+    match f {
+        FragmentKey::ResultTable(e) => format!("Results {}", e.0),
+        FragmentKey::MedalTable => "Medal Table".into(),
+        FragmentKey::Headlines(day) => format!("Headlines Day {day}"),
     }
 }
 
@@ -458,18 +557,15 @@ pub fn target_bytes(key: PageKey) -> usize {
 }
 
 fn finalize(key: PageKey, title: &str, inner: String) -> Bytes {
-    let mut page = format!(
-        "<!doctype html><html><head><title>{title}</title></head><body>\n\
-         <header><a href=\"/day/1/\">Nagano 1998</a> · <a href=\"/medals\">Medals</a> · \
-         <a href=\"/news/day/1\">News</a></header>\n{inner}\n"
-    );
-    let target = target_bytes(key);
+    let mut page = page_head(title);
+    page.push_str(&inner);
+    page.push('\n');
     // Pad with content filler to the family's nominal size (stands in for
     // the inline imagery the real pages carried).
-    while page.len() + FILLER.len() + 14 < target {
+    for _ in 0..filler_repeats(page.len(), target_bytes(key)) {
         page.push_str(FILLER);
     }
-    page.push_str("</body></html>");
+    page.push_str(PAGE_CLOSE);
     Bytes::from(page)
 }
 

@@ -21,6 +21,12 @@
 //!     tail, defer overflow to a bounded queue drained on later ticks;
 //!   - `Conservative96` — the 1996 baseline: invalidate entire content
 //!     sections, "significantly more pages ... than were necessary".
+//!
+//!   In **fragment mode** ([`monitor::TriggerMonitor::with_fragments`],
+//!   DESIGN.md §14) the same policies act at fragment granularity: dirty
+//!   fragments re-render once into the shared fragment store and the
+//!   pages embedding them *recompose* from cached plans for static-class
+//!   cost, instead of each re-rendering the fragment inline.
 //! * [`runner`] — a background thread driving the monitor from a
 //!   transaction subscription (the live deployment shape).
 //! * [`stats`] — counters and freshness tracking (event recorded → page
@@ -34,7 +40,7 @@ pub mod policy;
 pub mod runner;
 pub mod stats;
 
-pub use monitor::{TriggerMonitor, TxnOutcome};
+pub use monitor::{DemandFill, TriggerMonitor, TxnOutcome};
 pub use policy::{ConsistencyPolicy, HybridConfig};
 pub use runner::TriggerRunner;
 pub use stats::{TriggerStats, TriggerStatsSnapshot};

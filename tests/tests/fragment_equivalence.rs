@@ -1,0 +1,288 @@
+//! Fragment-composition byte-equivalence suite (ISSUE 10, the PR-5
+//! pattern).
+//!
+//! Fragment mode changes *how* pages are produced — skeleton plans plus
+//! independently cached fragments instead of whole-page renders — but it
+//! must never change a single served byte. The property: for an
+//! arbitrary seed, day mix, and transaction prefix, every `PageKey` the
+//! fragment-mode monitor serves is byte-identical to the legacy
+//! whole-page renderer, with matching cache versions (the two modes do
+//! the same *work*, not just reach the same bytes). Each content
+//! category also gets a plain named driver so a regression pinpoints the
+//! page family that broke.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use nagano_cache::{CacheConfig, CacheFleet, FragmentStore};
+use nagano_db::{seed_games, AthleteId, GamesConfig, NewsArticle, NewsId, OlympicDb, Transaction};
+use nagano_pagegen::{PageKey, PageRegistry, Renderer};
+use nagano_simcore::{DeterministicRng, SimTime};
+use nagano_trigger::{ConsistencyPolicy, TriggerMonitor};
+
+fn fresh_db() -> Arc<OlympicDb> {
+    let db = Arc::new(OlympicDb::new());
+    seed_games(&db, &GamesConfig::small());
+    db
+}
+
+/// A prewarmed fragment-mode monitor and a prewarmed legacy monitor over
+/// the SAME db, each with its own two-member fleet.
+fn monitor_pair(
+    db: &Arc<OlympicDb>,
+    policy: ConsistencyPolicy,
+) -> (TriggerMonitor, TriggerMonitor, Arc<PageRegistry>) {
+    let registry = Arc::new(PageRegistry::build(db, 16));
+    let fragmented = TriggerMonitor::new(
+        Renderer::new(Arc::clone(db)),
+        Arc::new(CacheFleet::new(2, CacheConfig::default())),
+        Arc::clone(&registry),
+        policy,
+    )
+    .with_fragments(Arc::new(FragmentStore::new()));
+    let legacy = TriggerMonitor::new(
+        Renderer::new(Arc::clone(db)),
+        Arc::new(CacheFleet::new(2, CacheConfig::default())),
+        Arc::clone(&registry),
+        policy,
+    );
+    fragmented.prewarm();
+    legacy.prewarm();
+    (fragmented, legacy, registry)
+}
+
+/// Deterministic mixed transaction prefix: result batches against random
+/// events (random podium sizes, ~30% finals) interleaved with news
+/// stories on the touched days — together these dirty every fragment
+/// class (result tables, the medal table, headline strips).
+fn generate_txns(
+    db: &Arc<OlympicDb>,
+    rng: &mut DeterministicRng,
+    n: usize,
+) -> Vec<Arc<Transaction>> {
+    let events = db.events();
+    (0..n)
+        .map(|i| {
+            let ev = &events[rng.index(events.len())];
+            if rng.chance(0.25) {
+                db.publish_news(NewsArticle {
+                    id: NewsId(9_000 + i as u32),
+                    day: ev.day,
+                    title: format!("Late report {i}"),
+                    body: format!("Fragment-equivalence probe on day {}", ev.day),
+                    about_event: Some(ev.id),
+                })
+            } else {
+                let pool = db.athletes_of_sport(ev.sport);
+                let take = (3 + rng.index(5)).min(pool.len());
+                let placements: Vec<(AthleteId, f64)> = pool
+                    .iter()
+                    .take(take)
+                    .enumerate()
+                    .map(|(i, a)| (a.id, 95.0 - i as f64 - rng.f64()))
+                    .collect();
+                db.record_results(ev.id, &placements, rng.chance(0.3), ev.day)
+            }
+        })
+        .collect()
+}
+
+/// Canonical cache view of fleet member `member`: url → (body, version).
+fn cache_state(monitor: &TriggerMonitor, member: usize) -> BTreeMap<String, (Vec<u8>, u64)> {
+    monitor
+        .fleet()
+        .member(member)
+        .export_entries()
+        .into_iter()
+        .map(|(key, body, _cost, version)| (key, (body.to_vec(), version)))
+        .collect()
+}
+
+fn sorted(mut keys: Vec<PageKey>) -> Vec<PageKey> {
+    keys.sort();
+    keys
+}
+
+/// The core property. Drives both monitors txn-by-txn, asserting the
+/// per-txn stale sets match, then checks the full final cache state
+/// (keys, bodies AND versions) and — under update-in-place, where every
+/// cached page is fresh — that every registry page equals a from-scratch
+/// whole-page render.
+fn check_fragment_equivalence(seed: u64, n: usize) {
+    let db = fresh_db();
+    let mut rng = DeterministicRng::seed_from_u64(seed);
+    let txns = generate_txns(&db, &mut rng, n);
+    let (fragmented, legacy, registry) = monitor_pair(&db, ConsistencyPolicy::UpdateInPlace);
+    let now = SimTime::from_mins(5);
+    for (i, txn) in txns.iter().enumerate() {
+        let f = fragmented.process_txn_at(txn, now);
+        let l = legacy.process_txn_at(txn, now);
+        assert_eq!(
+            sorted(f.regenerated.clone()),
+            sorted(l.regenerated.clone()),
+            "txn {i}: regenerated sets diverge between fragment and whole-page modes"
+        );
+    }
+    for member in 0..2 {
+        assert_eq!(
+            cache_state(&fragmented, member),
+            cache_state(&legacy, member),
+            "member {member}: fragment-composed cache diverges from whole-page cache"
+        );
+    }
+    // Third leg: composition must also agree with the *renderer itself*,
+    // not merely with the legacy monitor's copy of its output.
+    let fresh = Renderer::new(Arc::clone(&db));
+    for key in registry.pages().iter().map(|(k, _)| *k) {
+        let cached = fragmented
+            .fleet()
+            .member(0)
+            .peek(&key.to_url())
+            .unwrap_or_else(|| panic!("{key:?} missing from fragment-mode fleet"));
+        assert_eq!(
+            cached.body,
+            fresh.render(key).body,
+            "{key:?}: composed bytes diverge from a fresh whole-page render"
+        );
+    }
+}
+
+/// Named per-category driver: after the shared txn script, every cached
+/// page whose url starts with one of `prefixes` must be byte-identical
+/// across the two modes, and at least `min_pages` such pages must exist
+/// (guarding against a vacuous pass if urls are renamed).
+fn check_category(
+    txns: &[Arc<Transaction>],
+    fragmented: &TriggerMonitor,
+    legacy: &TriggerMonitor,
+    prefixes: &[&str],
+    min_pages: usize,
+) {
+    let now = SimTime::from_mins(5);
+    for txn in txns {
+        fragmented.process_txn_at(txn, now);
+        legacy.process_txn_at(txn, now);
+    }
+    let frag_state = cache_state(fragmented, 0);
+    let legacy_state = cache_state(legacy, 0);
+    let mut compared = 0usize;
+    for (url, entry) in &legacy_state {
+        if prefixes.iter().any(|p| url.starts_with(p)) {
+            let composed = frag_state
+                .get(url)
+                .unwrap_or_else(|| panic!("{url} missing from fragment-mode fleet"));
+            assert_eq!(composed, entry, "{url}: category bytes/version diverge");
+            compared += 1;
+        }
+    }
+    assert!(
+        compared >= min_pages,
+        "only {compared} pages matched {prefixes:?} — category check is vacuous"
+    );
+}
+
+fn final_podium(db: &OlympicDb, ev: nagano_db::EventId) -> Vec<(AthleteId, f64)> {
+    let event = db.event(ev).unwrap();
+    db.athletes_of_sport(event.sport)
+        .iter()
+        .take(3)
+        .enumerate()
+        .map(|(i, a)| (a.id, 90.0 - i as f64))
+        .collect()
+}
+
+#[test]
+fn result_pages_compose_identically() {
+    let db = fresh_db();
+    let (fragmented, legacy, _registry) = monitor_pair(&db, ConsistencyPolicy::UpdateInPlace);
+    let evs: Vec<_> = db.events().iter().take(3).cloned().collect();
+    let txns: Vec<_> = evs
+        .iter()
+        .enumerate()
+        .map(|(i, ev)| db.record_results(ev.id, &final_podium(&db, ev.id), i % 2 == 0, ev.day))
+        .collect();
+    check_category(
+        &txns,
+        &fragmented,
+        &legacy,
+        &["/events/", "/sports/", "/fragments/results/"],
+        3,
+    );
+}
+
+#[test]
+fn medal_pages_compose_identically() {
+    let db = fresh_db();
+    let (fragmented, legacy, _registry) = monitor_pair(&db, ConsistencyPolicy::UpdateInPlace);
+    // Finals move the medal standings — the shared MedalTable fragment
+    // plus every country page's inline medal box.
+    let evs: Vec<_> = db.events().iter().take(2).cloned().collect();
+    let txns: Vec<_> = evs
+        .iter()
+        .map(|ev| db.record_results(ev.id, &final_podium(&db, ev.id), true, ev.day))
+        .collect();
+    check_category(&txns, &fragmented, &legacy, &["/medals", "/countries/"], 2);
+}
+
+#[test]
+fn news_pages_compose_identically() {
+    let db = fresh_db();
+    let (fragmented, legacy, _registry) = monitor_pair(&db, ConsistencyPolicy::UpdateInPlace);
+    let ev = db.events()[0].clone();
+    // One update to an existing story, one brand-new story: both touch
+    // the day's Headlines fragment and the news index.
+    let existing = db.news_on_day(ev.day).first().map(|a| a.id);
+    let mut txns = vec![db.publish_news(NewsArticle {
+        id: NewsId(9_900),
+        day: ev.day,
+        title: "Stop-press".into(),
+        body: "Fresh story for the headline strip".into(),
+        about_event: Some(ev.id),
+    })];
+    if let Some(id) = existing {
+        txns.push(db.publish_news(NewsArticle {
+            id,
+            day: ev.day,
+            title: "Corrected headline".into(),
+            body: "Updated body".into(),
+            about_event: None,
+        }));
+    }
+    check_category(
+        &txns,
+        &fragmented,
+        &legacy,
+        &["/news", "/fragments/headlines/"],
+        2,
+    );
+}
+
+#[test]
+fn home_and_welcome_pages_compose_identically() {
+    let db = fresh_db();
+    let (fragmented, legacy, _registry) = monitor_pair(&db, ConsistencyPolicy::UpdateInPlace);
+    let ev = db.events()[1].clone();
+    let txns = vec![
+        db.record_results(ev.id, &final_podium(&db, ev.id), false, ev.day),
+        db.record_results(ev.id, &final_podium(&db, ev.id), true, ev.day),
+    ];
+    check_category(&txns, &fragmented, &legacy, &["/day/", "/welcome"], 2);
+}
+
+#[test]
+fn fragment_equivalence_plain_seeds() {
+    for seed in [1, 42, 0x1998] {
+        check_fragment_equivalence(seed, 4);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn prop_fragment_composition_is_byte_equivalent(seed in 0u64..(1u64 << 32), n in 1usize..7) {
+        check_fragment_equivalence(seed, n);
+    }
+}

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use nagano_cache::{CacheConfig, CacheFleet};
+use nagano_cache::{CacheConfig, CacheFleet, FragmentStore};
 use nagano_db::{seed_games, AthleteId, GamesConfig, OlympicDb, Transaction};
 use nagano_pagegen::{PageKey, PageRegistry, Renderer};
 use nagano_simcore::{DeterministicRng, SimTime};
@@ -24,11 +24,17 @@ fn fresh_db() -> Arc<OlympicDb> {
     db
 }
 
-/// A prewarmed monitor over `db` with a two-member fleet.
-fn monitor_for(db: &Arc<OlympicDb>, policy: ConsistencyPolicy) -> TriggerMonitor {
+/// A prewarmed monitor over `db` with a two-member fleet; with
+/// `fragments` set the monitor runs in fragment-composition mode
+/// (DESIGN.md §14), so the degenerate identities below are also checked
+/// at fragment granularity.
+fn monitor_for(db: &Arc<OlympicDb>, policy: ConsistencyPolicy, fragments: bool) -> TriggerMonitor {
     let registry = Arc::new(PageRegistry::build(db, 16));
     let fleet = Arc::new(CacheFleet::new(2, CacheConfig::default()));
-    let monitor = TriggerMonitor::new(Renderer::new(Arc::clone(db)), fleet, registry, policy);
+    let mut monitor = TriggerMonitor::new(Renderer::new(Arc::clone(db)), fleet, registry, policy);
+    if fragments {
+        monitor = monitor.with_fragments(Arc::new(FragmentStore::new()));
+    }
     monitor.prewarm();
     monitor
 }
@@ -110,12 +116,13 @@ fn check_degenerate_equivalence(
     n: usize,
     hybrid: ConsistencyPolicy,
     pure: ConsistencyPolicy,
+    fragments: bool,
 ) {
     let db = fresh_db();
     let mut rng = DeterministicRng::seed_from_u64(seed);
     let txns = generate_txns(&db, &mut rng, n);
-    let hybrid_monitor = monitor_for(&db, hybrid);
-    let pure_monitor = monitor_for(&db, pure);
+    let hybrid_monitor = monitor_for(&db, hybrid, fragments);
+    let pure_monitor = monitor_for(&db, pure, fragments);
     let now = SimTime::from_mins(5);
     for (i, txn) in txns.iter().enumerate() {
         let h = hybrid_monitor.process_txn_at(txn, now);
@@ -148,12 +155,12 @@ fn check_degenerate_equivalence(
 /// Hybrid with everything hot and no budget regenerates exactly what
 /// `UpdateInPlace` regenerates (the regenerated/invalidated split must
 /// match, not just the union).
-fn check_hybrid_full_hot_is_update_in_place(seed: u64, n: usize) {
+fn check_hybrid_full_hot_is_update_in_place(seed: u64, n: usize, fragments: bool) {
     let db = fresh_db();
     let mut rng = DeterministicRng::seed_from_u64(seed);
     let txns = generate_txns(&db, &mut rng, n);
-    let hybrid = monitor_for(&db, ConsistencyPolicy::hybrid(1.0, None));
-    let uip = monitor_for(&db, ConsistencyPolicy::UpdateInPlace);
+    let hybrid = monitor_for(&db, ConsistencyPolicy::hybrid(1.0, None), fragments);
+    let uip = monitor_for(&db, ConsistencyPolicy::UpdateInPlace, fragments);
     let now = SimTime::from_mins(5);
     for (i, txn) in txns.iter().enumerate() {
         let h = hybrid.process_txn_at(txn, now);
@@ -173,12 +180,12 @@ fn check_hybrid_full_hot_is_update_in_place(seed: u64, n: usize) {
 
 /// Hybrid with everything cold invalidates exactly what `Invalidate`
 /// invalidates.
-fn check_hybrid_full_cold_is_invalidate(seed: u64, n: usize) {
+fn check_hybrid_full_cold_is_invalidate(seed: u64, n: usize, fragments: bool) {
     let db = fresh_db();
     let mut rng = DeterministicRng::seed_from_u64(seed);
     let txns = generate_txns(&db, &mut rng, n);
-    let hybrid = monitor_for(&db, ConsistencyPolicy::hybrid(0.0, Some(400)));
-    let inv = monitor_for(&db, ConsistencyPolicy::Invalidate);
+    let hybrid = monitor_for(&db, ConsistencyPolicy::hybrid(0.0, Some(400)), fragments);
+    let inv = monitor_for(&db, ConsistencyPolicy::Invalidate, fragments);
     let now = SimTime::from_mins(5);
     for (i, txn) in txns.iter().enumerate() {
         let h = hybrid.process_txn_at(txn, now);
@@ -236,8 +243,8 @@ fn check_batch_matches_sequential(seed: u64, n: usize) {
         let db = fresh_db();
         let mut rng = DeterministicRng::seed_from_u64(seed);
         let txns = generate_txns(&db, &mut rng, n);
-        let batched = monitor_for(&db, policy);
-        let sequential = monitor_for(&db, policy);
+        let batched = monitor_for(&db, policy, false);
+        let sequential = monitor_for(&db, policy, false);
         // Identical traffic on both monitors: the hot/cold split is a
         // pure function of the (shared) hotness profile, so it cannot
         // depend on batching.
@@ -274,27 +281,36 @@ fn check_batch_matches_sequential(seed: u64, n: usize) {
 
 #[test]
 fn hybrid_full_hot_matches_update_in_place() {
-    for seed in [1, 42, 0x1998] {
-        check_hybrid_full_hot_is_update_in_place(seed, 4);
-        check_degenerate_equivalence(
-            seed,
-            4,
-            ConsistencyPolicy::hybrid(1.0, None),
-            ConsistencyPolicy::UpdateInPlace,
-        );
+    // The sentinels must hold whole-page AND at fragment granularity:
+    // fragment mode changes what a "page" is (fragments are first-class
+    // regeneration targets), not what the scheduler admits.
+    for fragments in [false, true] {
+        for seed in [1, 42, 0x1998] {
+            check_hybrid_full_hot_is_update_in_place(seed, 4, fragments);
+            check_degenerate_equivalence(
+                seed,
+                4,
+                ConsistencyPolicy::hybrid(1.0, None),
+                ConsistencyPolicy::UpdateInPlace,
+                fragments,
+            );
+        }
     }
 }
 
 #[test]
 fn hybrid_full_cold_matches_invalidate() {
-    for seed in [1, 42, 0x1998] {
-        check_hybrid_full_cold_is_invalidate(seed, 4);
-        check_degenerate_equivalence(
-            seed,
-            4,
-            ConsistencyPolicy::hybrid(0.0, Some(400)),
-            ConsistencyPolicy::Invalidate,
-        );
+    for fragments in [false, true] {
+        for seed in [1, 42, 0x1998] {
+            check_hybrid_full_cold_is_invalidate(seed, 4, fragments);
+            check_degenerate_equivalence(
+                seed,
+                4,
+                ConsistencyPolicy::hybrid(0.0, Some(400)),
+                ConsistencyPolicy::Invalidate,
+                fragments,
+            );
+        }
     }
 }
 
@@ -310,12 +326,26 @@ proptest! {
 
     #[test]
     fn prop_hybrid_full_hot_matches_update_in_place(seed in 0u64..(1u64 << 32), n in 1usize..6) {
-        check_hybrid_full_hot_is_update_in_place(seed, n);
+        check_hybrid_full_hot_is_update_in_place(seed, n, false);
     }
 
     #[test]
     fn prop_hybrid_full_cold_matches_invalidate(seed in 0u64..(1u64 << 32), n in 1usize..6) {
-        check_hybrid_full_cold_is_invalidate(seed, n);
+        check_hybrid_full_cold_is_invalidate(seed, n, false);
+    }
+
+    #[test]
+    fn prop_fragment_hybrid_full_hot_matches_update_in_place(
+        seed in 0u64..(1u64 << 32), n in 1usize..6
+    ) {
+        check_hybrid_full_hot_is_update_in_place(seed, n, true);
+    }
+
+    #[test]
+    fn prop_fragment_hybrid_full_cold_matches_invalidate(
+        seed in 0u64..(1u64 << 32), n in 1usize..6
+    ) {
+        check_hybrid_full_cold_is_invalidate(seed, n, true);
     }
 
     #[test]
